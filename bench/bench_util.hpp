@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared reporting helpers for the table/figure regeneration benches.
+ *
+ * Every bench prints the rows/series of one paper table or figure,
+ * side by side with the paper's published values where the paper
+ * states them, so EXPERIMENTS.md can be regenerated from the output.
+ */
+
+#ifndef CORUSCANT_BENCH_BENCH_UTIL_HPP
+#define CORUSCANT_BENCH_BENCH_UTIL_HPP
+
+#include <cstdio>
+#include <string>
+
+namespace coruscant::bench {
+
+inline void
+header(const std::string &title)
+{
+    std::printf("\n==========================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("==========================================================\n");
+}
+
+inline void
+subheader(const std::string &title)
+{
+    std::printf("\n--- %s ---\n", title.c_str());
+}
+
+/** Print one measured-vs-paper value with the deviation. */
+inline void
+row(const std::string &label, double measured, double paper,
+    const char *unit = "")
+{
+    if (paper > 0) {
+        std::printf("  %-34s %12.4g %s   (paper: %.4g, %+.1f%%)\n",
+                    label.c_str(), measured, unit, paper,
+                    100.0 * (measured - paper) / paper);
+    } else {
+        std::printf("  %-34s %12.4g %s\n", label.c_str(), measured,
+                    unit);
+    }
+}
+
+/** Print a measured value with no paper reference. */
+inline void
+rowPlain(const std::string &label, double measured,
+         const char *unit = "")
+{
+    row(label, measured, -1, unit);
+}
+
+} // namespace coruscant::bench
+
+#endif // CORUSCANT_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Regenerates paper Fig. 10: normalized DWM latency on the Polybench
+ * subset — CPU+DWM and CPU+DRAM latency normalized to CORUSCANT PIM
+ * (improvement factors; the paper reports averages of 2.07x and
+ * 2.20x).
+ */
+
+#include <cmath>
+
+#include "apps/polybench/system_model.hpp"
+#include "bench_util.hpp"
+
+using namespace coruscant;
+
+int
+main()
+{
+    bench::header("Fig. 10: normalized latency, Polybench "
+                  "(CPU+DWM / PIM and CPU+DRAM / PIM)");
+    PolybenchSystemModel model;
+    auto runs = runAllPolybench(48);
+
+    std::printf("  %-10s %14s %14s %14s %10s %10s\n", "kernel",
+                "cpu-dram[cyc]", "cpu-dwm[cyc]", "pim[cyc]", "dwm/pim",
+                "dram/pim");
+    double gdwm = 1, gdram = 1;
+    for (const auto &run : runs) {
+        auto r = model.evaluate(run);
+        std::printf("  %-10s %14llu %14llu %14llu %10.2f %10.2f\n",
+                    r.kernel.c_str(),
+                    static_cast<unsigned long long>(r.cpuDramCycles),
+                    static_cast<unsigned long long>(r.cpuDwmCycles),
+                    static_cast<unsigned long long>(r.pimCycles),
+                    r.latencyGainVsDwm(), r.latencyGainVsDram());
+        gdwm *= r.latencyGainVsDwm();
+        gdram *= r.latencyGainVsDram();
+    }
+    double n = static_cast<double>(runs.size());
+    bench::subheader("averages");
+    bench::row("geomean latency gain vs CPU+DWM", std::pow(gdwm, 1 / n),
+               2.07, "x");
+    bench::row("geomean latency gain vs CPU+DRAM",
+               std::pow(gdram, 1 / n), 2.20, "x");
+
+    auto gemm = model.evaluate(runGemm(48));
+    bench::row("PIM queueing share (gemm)", gemm.pimQueueFraction, 0.8);
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Regenerates paper Fig. 11: normalized energy reduction of CORUSCANT
+ * PIM over the CPU+DWM system on the Polybench subset (the paper
+ * reports >25x on average, dominated by the 1250 pJ/Byte bus
+ * transfers).
+ */
+
+#include <cmath>
+
+#include "apps/polybench/system_model.hpp"
+#include "bench_util.hpp"
+
+using namespace coruscant;
+
+int
+main()
+{
+    bench::header("Fig. 11: normalized energy reduction, Polybench");
+    PolybenchSystemModel model;
+    auto runs = runAllPolybench(48);
+
+    std::printf("  %-10s %16s %16s %10s\n", "kernel", "cpu[uJ]",
+                "pim[uJ]", "gain");
+    double ggain = 1;
+    for (const auto &run : runs) {
+        auto r = model.evaluate(run);
+        std::printf("  %-10s %16.2f %16.2f %10.1f\n", r.kernel.c_str(),
+                    r.cpuEnergyPj / 1e6, r.pimEnergyPj / 1e6,
+                    r.energyGain());
+        ggain *= r.energyGain();
+    }
+    bench::subheader("average");
+    bench::row("geomean energy reduction",
+               std::pow(ggain, 1.0 / static_cast<double>(runs.size())),
+               25.2, "x");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Regenerates paper Fig. 12: bitmap-index query latency — Ambit,
+ * ELP2IM, and CORUSCANT normalized to the CPU+DRAM system, for "male
+ * users active in the past w weeks", w in {2,3,4}, 16M users.
+ *
+ * The paper's stated ratios: CORUSCANT is 1.6x / 2.2x / 3.4x faster
+ * than ELP2IM at w = 2 / 3 / 4, with flat CORUSCANT latency.
+ */
+
+#include "apps/bitmap/bitmap_index.hpp"
+#include "bench_util.hpp"
+
+using namespace coruscant;
+
+int
+main()
+{
+    bench::header("Fig. 12: bitmap index query (16M users)");
+    auto db = BitmapDatabase::synthesize(16ull << 20, 4);
+    BitmapQueryEngine eng(db);
+
+    std::printf("  %-4s %12s | %10s %10s %10s %10s | %9s\n", "w",
+                "matches", "cpu[cyc]", "ambit", "elp2im", "coruscant",
+                "cor/elp");
+    for (std::size_t w = 2; w <= 4; ++w) {
+        auto cpu = eng.runCpuDram(w);
+        auto ambit = eng.runAmbit(w);
+        auto elp = eng.runElp2im(w);
+        auto cor = eng.runCoruscant(w);
+        std::printf(
+            "  %-4zu %12llu | %10llu %10llu %10llu %10llu | %9.2f\n", w,
+            static_cast<unsigned long long>(cor.matches),
+            static_cast<unsigned long long>(cpu.cycles),
+            static_cast<unsigned long long>(ambit.cycles),
+            static_cast<unsigned long long>(elp.cycles),
+            static_cast<unsigned long long>(cor.cycles),
+            static_cast<double>(elp.cycles) /
+                static_cast<double>(cor.cycles));
+    }
+
+    bench::subheader("paper ratios (CORUSCANT speedup over ELP2IM)");
+    for (std::size_t w = 2; w <= 4; ++w) {
+        double paper = w == 2 ? 1.6 : (w == 3 ? 2.2 : 3.4);
+        double measured =
+            static_cast<double>(eng.runElp2im(w).cycles) /
+            static_cast<double>(eng.runCoruscant(w).cycles);
+        bench::row("w = " + std::to_string(w), measured, paper, "x");
+    }
+    bench::subheader("normalized speedup over CPU+DRAM");
+    for (std::size_t w = 2; w <= 4; ++w) {
+        double cpu = static_cast<double>(eng.runCpuDram(w).cycles);
+        bench::rowPlain("Ambit      w=" + std::to_string(w),
+                        cpu / static_cast<double>(
+                                  eng.runAmbit(w).cycles),
+                        "x");
+        bench::rowPlain("ELP2IM     w=" + std::to_string(w),
+                        cpu / static_cast<double>(
+                                  eng.runElp2im(w).cycles),
+                        "x");
+        bench::rowPlain("CORUSCANT  w=" + std::to_string(w),
+                        cpu / static_cast<double>(
+                                  eng.runCoruscant(w).cycles),
+                        "x");
+    }
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: host-side simulation throughput of
+ * the core device and PIM operations (how fast the *simulator* runs,
+ * complementing the modeled device cycles printed by the table
+ * benches).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/dwm_memory.hpp"
+#include "core/coruscant_unit.hpp"
+#include "util/rng.hpp"
+
+using namespace coruscant;
+
+namespace {
+
+DeviceParams
+params(std::size_t trd, std::size_t wires = 512)
+{
+    DeviceParams p = DeviceParams::withTrd(trd);
+    p.wiresPerDbc = wires;
+    return p;
+}
+
+BitVector
+randomRow(Rng &rng, std::size_t width)
+{
+    BitVector row(width);
+    for (std::size_t w = 0; w < width; ++w)
+        row.set(w, rng.nextBool());
+    return row;
+}
+
+void
+BM_TransverseReadAll(benchmark::State &state)
+{
+    DomainBlockCluster dbc(params(7));
+    Rng rng(1);
+    for (std::size_t r = 0; r < 32; ++r)
+        dbc.pokeRow(r, randomRow(rng, 512));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dbc.transverseReadAll());
+}
+BENCHMARK(BM_TransverseReadAll);
+
+void
+BM_BulkAnd7(benchmark::State &state)
+{
+    CoruscantUnit unit(params(7));
+    Rng rng(2);
+    std::vector<BitVector> ops;
+    for (int i = 0; i < 7; ++i)
+        ops.push_back(randomRow(rng, 512));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(unit.bulkBitwise(BulkOp::And, ops));
+}
+BENCHMARK(BM_BulkAnd7);
+
+void
+BM_FiveOperandAdd(benchmark::State &state)
+{
+    CoruscantUnit unit(params(7));
+    Rng rng(3);
+    std::vector<BitVector> ops;
+    for (int i = 0; i < 5; ++i)
+        ops.push_back(randomRow(rng, 512));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            unit.add(ops, static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_FiveOperandAdd)->Arg(8)->Arg(32)->Arg(512);
+
+void
+BM_Multiply8Bit(benchmark::State &state)
+{
+    CoruscantUnit unit(params(static_cast<std::size_t>(state.range(0))));
+    Rng rng(4);
+    BitVector a = randomRow(rng, 512);
+    BitVector b = randomRow(rng, 512);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(unit.multiply(a, b, 8));
+}
+BENCHMARK(BM_Multiply8Bit)->Arg(3)->Arg(5)->Arg(7);
+
+void
+BM_MaxOfRowsTw(benchmark::State &state)
+{
+    CoruscantUnit unit(params(7));
+    Rng rng(5);
+    std::vector<BitVector> cands;
+    for (int i = 0; i < 7; ++i)
+        cands.push_back(randomRow(rng, 512));
+    bool use_tw = state.range(0) != 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(unit.maxOfRows(cands, 8, 0, use_tw));
+}
+BENCHMARK(BM_MaxOfRowsTw)->Arg(1)->Arg(0);
+
+void
+BM_MemoryReadLine(benchmark::State &state)
+{
+    DwmMainMemory mem;
+    Rng rng(6);
+    for (int i = 0; i < 64; ++i)
+        mem.writeLine((rng.next() % mem.config().capacityBytes())
+                          & ~63ull,
+                      randomRow(rng, 512));
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mem.readLine(addr));
+        addr = (addr + 64) % (1 << 20);
+    }
+}
+BENCHMARK(BM_MemoryReadLine);
+
+void
+BM_NmrVote(benchmark::State &state)
+{
+    CoruscantUnit unit(params(7));
+    Rng rng(7);
+    std::vector<BitVector> reps(
+        static_cast<std::size_t>(state.range(0)));
+    for (auto &r : reps)
+        r = randomRow(rng, 512);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(unit.nmrVote(reps));
+}
+BENCHMARK(BM_NmrVote)->Arg(3)->Arg(5)->Arg(7);
+
+} // namespace
+
+BENCHMARK_MAIN();

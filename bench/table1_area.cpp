@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Regenerates paper Table I: PIM area overhead vs. base DWM main
+ * memory, one tile per subarray PIM-enabled ("1-PIM").
+ */
+
+#include "bench_util.hpp"
+#include "dwm/area_model.hpp"
+
+using namespace coruscant;
+
+int
+main()
+{
+    bench::header("Table I: PIM area overhead vs base DWM main memory "
+                  "(1-PIM)");
+    AreaModel model;
+    bench::row("ADD2 (TRD=3 two-op adder)",
+               100 * model.memoryOverheadFraction(PimFeatureSet::add2()),
+               3.7, "%");
+    bench::row("ADD5 (TRD=7 five-op adder)",
+               100 * model.memoryOverheadFraction(PimFeatureSet::add5()),
+               9.2, "%");
+    bench::row(
+        "MUL+ADD5",
+        100 * model.memoryOverheadFraction(PimFeatureSet::mulAdd5()),
+        9.4, "%");
+    bench::row(
+        "MUL+ADD5+BBO (full ISA)",
+        100 * model.memoryOverheadFraction(PimFeatureSet::mulAdd5Bbo()),
+        10.0, "%");
+
+    bench::subheader("model internals");
+    bench::rowPlain("baseline DBC area", model.baselineDbcAreaUm2(),
+                    "um^2");
+    bench::rowPlain("PIM extra per DBC (full ISA)",
+                    model.pimExtraAreaUm2(PimFeatureSet::mulAdd5Bbo()),
+                    "um^2");
+    bench::rowPlain("baseline overhead domains/wire",
+                    static_cast<double>(model.baselineOverheadDomains()));
+    bench::rowPlain("PIM overhead domains/wire (TRD=7)",
+                    static_cast<double>(model.pimOverheadDomains(7)));
+    return 0;
+}

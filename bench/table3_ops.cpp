@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Regenerates paper Table III: 8-bit operation comparison of
+ * CORUSCANT (TRD in {3,7}) against DW-NN and SPIM — speed (cycles),
+ * energy (pJ), and processing-element area (um^2) — plus the derived
+ * headline speedup/energy claims of Sec. V-B.
+ */
+
+#include "baselines/dwm_pim_baselines.hpp"
+#include "bench_util.hpp"
+#include "core/op_cost.hpp"
+#include "dwm/area_model.hpp"
+
+using namespace coruscant;
+
+int
+main()
+{
+    bench::header("Table III: operation comparison (8-bit operands)");
+
+    CoruscantCostModel c3(3), c5(5), c7(7);
+    auto dwnn = DwmPimBaseline::dwNn();
+    auto spim = DwmPimBaseline::spim();
+
+    bench::subheader("CORUSCANT speed (cycles)");
+    bench::row("2-op add (TR=3)", c3.add(2, 8).cycles, 19);
+    bench::row("2-op add (TR=7)", c7.add(2, 8).cycles, 26);
+    bench::row("5-op add (TR=7)", c7.add(5, 8).cycles, 26);
+    bench::row("mult (TR=3)", c3.multiply(8).cycles, 105);
+    bench::row("mult (TR=5)  [not in paper table]",
+               c5.multiply(8).cycles, -1);
+    bench::row("mult (TR=7)", c7.multiply(8).cycles, 64);
+
+    bench::subheader("CORUSCANT energy (pJ)");
+    bench::row("2-op add (TR=3)", c3.add(2, 8).energyPj, 10.15);
+    bench::row("2-op add (TR=7)", c7.add(2, 8).energyPj, 22.14);
+    bench::row("5-op add (TR=7)", c7.add(5, 8).energyPj, 22.14);
+    bench::row("mult (TR=3)", c3.multiply(8).energyPj, 92.01);
+    bench::row("mult (TR=7)", c7.multiply(8).energyPj, 57.39);
+
+    bench::subheader("CORUSCANT area (um^2)");
+    bench::row("2-op add (TR=3)", AreaModel::peAreaUm2(3, 2, false),
+               2.16);
+    bench::row("2-op add (TR=7)", AreaModel::peAreaUm2(7, 2, false),
+               3.60);
+    bench::row("5-op add (TR=7)", AreaModel::peAreaUm2(7, 5, false),
+               4.94);
+    bench::row("mult (TR=3)", AreaModel::peAreaUm2(3, 2, true), 3.80);
+    bench::row("mult (TR=7)", AreaModel::peAreaUm2(7, 5, true), 5.07);
+
+    bench::subheader("DW-NN (published-cost-calibrated)");
+    bench::row("2-op add cycles", dwnn.addCost(8).cycles, 54);
+    bench::row("5-op add cycles (area opt.)",
+               dwnn.addCost(5, 8, ComposeMode::AreaOptimized).cycles,
+               264);
+    bench::row("5-op add cycles (lat. opt.)",
+               dwnn.addCost(5, 8, ComposeMode::LatencyOptimized).cycles,
+               194);
+    bench::row("2-op mult cycles", dwnn.multiplyCost(8).cycles, 163);
+    bench::row("2-op add energy (pJ)", dwnn.addCost(8).energyPj, 40);
+    bench::row("2-op mult energy (pJ)", dwnn.multiplyCost(8).energyPj,
+               308);
+
+    bench::subheader("SPIM (published-cost-calibrated)");
+    bench::row("2-op add cycles", spim.addCost(8).cycles, 49);
+    bench::row("5-op add cycles (area opt.)",
+               spim.addCost(5, 8, ComposeMode::AreaOptimized).cycles,
+               244);
+    bench::row("5-op add cycles (lat. opt.)",
+               spim.addCost(5, 8, ComposeMode::LatencyOptimized).cycles,
+               179);
+    bench::row("2-op mult cycles", spim.multiplyCost(8).cycles, 149);
+    bench::row("2-op add energy (pJ)", spim.addCost(8).energyPj, 28);
+    bench::row("2-op mult energy (pJ)", spim.multiplyCost(8).energyPj,
+               196);
+
+    bench::subheader("Sec. V-B headline ratios vs SPIM (speed)");
+    auto ratio = [](double a, double b) { return a / b; };
+    bench::row("2-op add speedup",
+               ratio(spim.addCost(8).cycles, c7.add(2, 8).cycles), 1.9);
+    bench::row(
+        "5-op add speedup (area opt.)",
+        ratio(spim.addCost(5, 8, ComposeMode::AreaOptimized).cycles,
+              c7.add(5, 8).cycles),
+        9.4);
+    bench::row(
+        "5-op add speedup (lat. opt.)",
+        ratio(spim.addCost(5, 8, ComposeMode::LatencyOptimized).cycles,
+              c7.add(5, 8).cycles),
+        6.9);
+    bench::row("2-op mult speedup",
+               ratio(spim.multiplyCost(8).cycles,
+                     c7.multiply(8).cycles),
+               2.3);
+
+    bench::subheader("Sec. V-B headline ratios vs SPIM (energy)");
+    bench::row("2-op add energy gain (TRD=3 adder)",
+               spim.addCost(8).energyPj / c3.add(2, 8).energyPj, 2.2);
+    bench::row(
+        "5-op add energy gain",
+        spim.addCost(5, 8, ComposeMode::AreaOptimized).energyPj /
+            c7.add(5, 8).energyPj,
+        5.5);
+    bench::row("2-op mult energy gain",
+               spim.multiplyCost(8).energyPj / c7.multiply(8).energyPj,
+               3.4);
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Regenerates paper Table IV: CNN inference throughput (FPS) for
+ * AlexNet and LeNet-5 across SPIM, ISAAC, Ambit, ELP2IM, and
+ * CORUSCANT-{3,5,7} in full-precision, ternary (DrAcc), and binary
+ * (NID) modes.
+ */
+
+#include <map>
+#include <string>
+
+#include "apps/cnn/throughput_model.hpp"
+#include "bench_util.hpp"
+
+using namespace coruscant;
+
+namespace {
+
+/** Published Table IV values, keyed by net/mode/scheme. */
+double
+paperFps(const std::string &net, CnnMode mode, CnnScheme s)
+{
+    using M = CnnMode;
+    using S = CnnScheme;
+    static const std::map<std::tuple<std::string, M, S>, double> table =
+        {
+            {{"alexnet", M::FullPrecision, S::Spim}, 32.1},
+            {{"alexnet", M::FullPrecision, S::Coruscant3}, 71.1},
+            {{"alexnet", M::FullPrecision, S::Coruscant5}, 84.0},
+            {{"alexnet", M::FullPrecision, S::Coruscant7}, 90.5},
+            {{"alexnet", M::FullPrecision, S::Isaac}, 34.0},
+            {{"lenet5", M::FullPrecision, S::Spim}, 59.0},
+            {{"lenet5", M::FullPrecision, S::Coruscant3}, 131.0},
+            {{"lenet5", M::FullPrecision, S::Coruscant5}, 153.0},
+            {{"lenet5", M::FullPrecision, S::Coruscant7}, 163.0},
+            {{"lenet5", M::FullPrecision, S::Isaac}, 2581.0},
+            {{"alexnet", M::TernaryWeight, S::Ambit}, 84.8},
+            {{"alexnet", M::TernaryWeight, S::Elp2Im}, 96.4},
+            {{"alexnet", M::TernaryWeight, S::Coruscant3}, 358.0},
+            {{"alexnet", M::TernaryWeight, S::Coruscant5}, 449.0},
+            {{"alexnet", M::TernaryWeight, S::Coruscant7}, 490.0},
+            {{"lenet5", M::TernaryWeight, S::Ambit}, 7697.0},
+            {{"lenet5", M::TernaryWeight, S::Elp2Im}, 8330.0},
+            {{"lenet5", M::TernaryWeight, S::Coruscant3}, 22172.0},
+            {{"lenet5", M::TernaryWeight, S::Coruscant5}, 26453.0},
+            {{"lenet5", M::TernaryWeight, S::Coruscant7}, 32075.0},
+            {{"alexnet", M::BinaryWeight, S::Ambit}, 227.0},
+            {{"alexnet", M::BinaryWeight, S::Elp2Im}, 253.0},
+            {{"lenet5", M::BinaryWeight, S::Ambit}, 7525.0},
+            {{"lenet5", M::BinaryWeight, S::Elp2Im}, 9959.0},
+        };
+    auto it = table.find({net, mode, s});
+    return it == table.end() ? -1.0 : it->second;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Table IV: CNN application comparison (FPS)");
+    CnnThroughputModel model;
+
+    for (const auto &net :
+         {CnnNetwork::alexnet(), CnnNetwork::lenet5()}) {
+        std::printf("\n### %s (%.1fM MACs, %.1fM reduction adds)\n",
+                    net.name.c_str(),
+                    static_cast<double>(net.totalMacs()) / 1e6,
+                    static_cast<double>(net.totalReductionAdds()) /
+                        1e6);
+        for (auto mode :
+             {CnnMode::FullPrecision, CnnMode::TernaryWeight,
+              CnnMode::BinaryWeight}) {
+            bench::subheader(std::string(net.name) + " — " +
+                             cnnModeName(mode));
+            for (const auto &cell : model.table(net, mode)) {
+                bench::row(cnnSchemeName(cell.scheme), cell.fps,
+                           paperFps(net.name, mode, cell.scheme),
+                           "FPS");
+            }
+        }
+    }
+
+    bench::subheader("speedup summary (AlexNet)");
+    auto alex = CnnNetwork::alexnet();
+    double c3t = model.fps(alex, CnnScheme::Coruscant3,
+                           CnnMode::TernaryWeight);
+    bench::row("CORUSCANT-3 TWN / ELP2IM TWN",
+               c3t / model.fps(alex, CnnScheme::Elp2Im,
+                               CnnMode::TernaryWeight),
+               3.7, "x");
+    bench::row("CORUSCANT-3 TWN / Ambit TWN",
+               c3t / model.fps(alex, CnnScheme::Ambit,
+                               CnnMode::TernaryWeight),
+               4.2, "x");
+    bench::row("CORUSCANT-7 FP / SPIM FP",
+               model.fps(alex, CnnScheme::Coruscant7,
+                         CnnMode::FullPrecision) /
+                   model.fps(alex, CnnScheme::Spim,
+                             CnnMode::FullPrecision),
+               2.8, "x");
+    return 0;
+}

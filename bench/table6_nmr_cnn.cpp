@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Regenerates paper Table VI: CORUSCANT CNN throughput under
+ * N-modular redundancy (N in {3,5,7}).
+ */
+
+#include "apps/cnn/throughput_model.hpp"
+#include "bench_util.hpp"
+
+using namespace coruscant;
+
+namespace {
+
+struct PaperCell
+{
+    CnnScheme scheme;
+    std::size_t n;
+    double alexFp, lenetTwnOrFp;
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Table VI: CORUSCANT CNN with N-modulo redundancy");
+    CnnThroughputModel model;
+    auto alex = CnnNetwork::alexnet();
+    auto lenet = CnnNetwork::lenet5();
+
+    bench::subheader("AlexNet full precision (FPS)");
+    bench::row("N=3 C3",
+               model.fpsWithNmr(alex, CnnScheme::Coruscant3,
+                                CnnMode::FullPrecision, 3),
+               17.7);
+    bench::row("N=3 C5",
+               model.fpsWithNmr(alex, CnnScheme::Coruscant5,
+                                CnnMode::FullPrecision, 3),
+               26.9);
+    bench::row("N=3 C7",
+               model.fpsWithNmr(alex, CnnScheme::Coruscant7,
+                                CnnMode::FullPrecision, 3),
+               29.0);
+    bench::row("N=5 C5",
+               model.fpsWithNmr(alex, CnnScheme::Coruscant5,
+                                CnnMode::FullPrecision, 5),
+               16.2);
+    bench::row("N=5 C7",
+               model.fpsWithNmr(alex, CnnScheme::Coruscant7,
+                                CnnMode::FullPrecision, 5),
+               17.5);
+    bench::row("N=7 C7",
+               model.fpsWithNmr(alex, CnnScheme::Coruscant7,
+                                CnnMode::FullPrecision, 7),
+               12.5);
+
+    bench::subheader("AlexNet ternary (FPS)");
+    bench::row("N=3 C3",
+               model.fpsWithNmr(alex, CnnScheme::Coruscant3,
+                                CnnMode::TernaryWeight, 3),
+               90.2);
+    bench::row("N=3 C5",
+               model.fpsWithNmr(alex, CnnScheme::Coruscant5,
+                                CnnMode::TernaryWeight, 3),
+               134.8);
+    bench::row("N=3 C7",
+               model.fpsWithNmr(alex, CnnScheme::Coruscant7,
+                                CnnMode::TernaryWeight, 3),
+               155.8);
+    bench::row("N=5 C5",
+               model.fpsWithNmr(alex, CnnScheme::Coruscant5,
+                                CnnMode::TernaryWeight, 5),
+               81.1);
+    bench::row("N=5 C7",
+               model.fpsWithNmr(alex, CnnScheme::Coruscant7,
+                                CnnMode::TernaryWeight, 5),
+               93.7);
+    bench::row("N=7 C7",
+               model.fpsWithNmr(alex, CnnScheme::Coruscant7,
+                                CnnMode::TernaryWeight, 7),
+               67.0);
+
+    bench::subheader("LeNet-5 ternary (FPS)");
+    bench::row("N=3 C3",
+               model.fpsWithNmr(lenet, CnnScheme::Coruscant3,
+                                CnnMode::TernaryWeight, 3),
+               5907.0);
+    bench::row("N=3 C5",
+               model.fpsWithNmr(lenet, CnnScheme::Coruscant5,
+                                CnnMode::TernaryWeight, 3),
+               8074.0);
+    bench::row("N=3 C7",
+               model.fpsWithNmr(lenet, CnnScheme::Coruscant7,
+                                CnnMode::TernaryWeight, 3),
+               9862.0);
+    bench::row("N=7 C7",
+               model.fpsWithNmr(lenet, CnnScheme::Coruscant7,
+                                CnnMode::TernaryWeight, 7),
+               4253.0);
+
+    bench::subheader("Sec. V-F: ISO-area TMR vs DRAM PIM without FT "
+                     "(ternary AlexNet)");
+    double tmr = model.fpsWithNmr(alex, CnnScheme::Coruscant7,
+                                  CnnMode::TernaryWeight, 3);
+    bench::row("TMR C7 / Ambit (no FT)",
+               tmr / model.fps(alex, CnnScheme::Ambit,
+                               CnnMode::TernaryWeight),
+               1.83, "x");
+    bench::row("TMR C7 / ELP2IM (no FT)",
+               tmr / model.fps(alex, CnnScheme::Elp2Im,
+                               CnnMode::TernaryWeight),
+               1.62, "x");
+    return 0;
+}

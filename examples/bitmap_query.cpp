@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Example: database bitmap-index queries in memory.
+ *
+ * The scenario the paper's introduction motivates: real-time search
+ * over user predicates without moving megabytes of bitmaps to the CPU.
+ * Synthesizes a user table, answers "how many male users were active
+ * in each of the past w weeks" with the multi-operand transverse read,
+ * and compares the latency against the CPU and the DRAM PIM baselines.
+ */
+
+#include <cstdio>
+
+#include "apps/bitmap/bitmap_index.hpp"
+
+using namespace coruscant;
+
+int
+main()
+{
+    const std::size_t users = 4u << 20; // 4M users for a fast demo
+    std::printf("Synthesizing bitmap database: %zu users, 4 weekly "
+                "activity bitmaps...\n",
+                users);
+    auto db = BitmapDatabase::synthesize(users, 4);
+    BitmapQueryEngine engine(db);
+
+    std::printf("\n%4s %12s %14s %14s %14s %14s\n", "w", "matches",
+                "cpu-dram[cyc]", "ambit[cyc]", "elp2im[cyc]",
+                "coruscant[cyc]");
+    for (std::size_t w = 2; w <= 4; ++w) {
+        auto cpu = engine.runCpuDram(w);
+        auto ambit = engine.runAmbit(w);
+        auto elp = engine.runElp2im(w);
+        auto cor = engine.runCoruscant(w);
+        std::printf("%4zu %12llu %14llu %14llu %14llu %14llu\n", w,
+                    static_cast<unsigned long long>(cor.matches),
+                    static_cast<unsigned long long>(cpu.cycles),
+                    static_cast<unsigned long long>(ambit.cycles),
+                    static_cast<unsigned long long>(elp.cycles),
+                    static_cast<unsigned long long>(cor.cycles));
+    }
+
+    std::printf("\nNote how CORUSCANT's latency is flat in w: up to "
+                "TRD operand bitmaps are\nevaluated by a single "
+                "transverse read per 512-bit chunk, while the DRAM\n"
+                "techniques chain two-operand ANDs.\n");
+
+    // Sensitivity: the same query on a TRD = 5 device (w = 4 needs
+    // five operands: exactly the window).
+    auto cor5 = engine.runCoruscant(4, 5);
+    std::printf("\nTRD = 5 device, w = 4: %llu cycles, %llu matches "
+                "(same answer)\n",
+                static_cast<unsigned long long>(cor5.cycles),
+                static_cast<unsigned long long>(cor5.matches));
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Example: quantized CNN inference through the PIM operations.
+ *
+ * Runs a small LeNet-style network (conv -> relu -> maxpool -> conv ->
+ * relu -> maxpool -> fc) on a synthetic 8-bit image, with every
+ * multiply, add, max, and ReLU executed functionally by the CORUSCANT
+ * unit, then prints the throughput model's Table IV view of the full
+ * LeNet-5 / AlexNet workloads.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "apps/cnn/pim_executor.hpp"
+#include "apps/cnn/throughput_model.hpp"
+#include "util/rng.hpp"
+
+using namespace coruscant;
+
+namespace {
+
+std::int8_t
+randomInt8(Rng &rng)
+{
+    return static_cast<std::int8_t>(
+        static_cast<int>(rng.nextBelow(255)) - 127);
+}
+
+} // namespace
+
+int
+main()
+{
+    Rng rng(2022);
+    PimCnnExecutor exec;
+
+    // A 16x16 grayscale "image".
+    IntTensor image(16, 16, 1);
+    for (auto &v : image.data)
+        v = static_cast<std::int32_t>(rng.nextBelow(128));
+
+    // Layer 1: 4 filters of 3x3.
+    std::vector<IntTensor> k1;
+    for (int oc = 0; oc < 4; ++oc) {
+        IntTensor k(3, 3, 1);
+        for (auto &v : k.data)
+            v = randomInt8(rng);
+        k1.push_back(std::move(k));
+    }
+    auto c1 = exec.conv2d(image, k1, {0, 0, 0, 0});
+    exec.reluInPlace(c1);
+    for (auto &v : c1.data) // keep pooling lanes in range
+        v = std::min(v, (1 << 14) - 1);
+    auto p1 = exec.maxPool(c1, 2); // 14x14x4 -> 7x7x4
+    std::printf("conv1 + relu + pool: %zux%zux%zu\n", p1.h, p1.w, p1.c);
+
+    // Requantize to int8 for the next layer.
+    IntTensor q1(p1.h, p1.w, p1.c);
+    for (std::size_t i = 0; i < p1.size(); ++i)
+        q1.data[i] = PimCnnExecutor::requantize(p1.data[i], 6);
+
+    // Layer 2: 6 filters of 3x3x4, then classify with a 10-way FC.
+    std::vector<IntTensor> k2;
+    for (int oc = 0; oc < 6; ++oc) {
+        IntTensor k(3, 3, 4);
+        for (auto &v : k.data)
+            v = randomInt8(rng);
+        k2.push_back(std::move(k));
+    }
+    auto c2 = exec.conv2d(q1, k2, std::vector<std::int32_t>(6, 0));
+    exec.reluInPlace(c2);
+    std::printf("conv2 + relu       : %zux%zux%zu\n", c2.h, c2.w, c2.c);
+
+    std::vector<std::int8_t> flat;
+    for (auto v : c2.data)
+        flat.push_back(PimCnnExecutor::requantize(v, 8));
+    std::vector<std::vector<std::int8_t>> w(
+        10, std::vector<std::int8_t>(flat.size()));
+    for (auto &row : w)
+        for (auto &v : row)
+            v = randomInt8(rng);
+    auto logits =
+        exec.fullyConnected(flat, w, std::vector<std::int32_t>(10, 0));
+
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < logits.size(); ++i)
+        if (logits[i] > logits[best])
+            best = i;
+    std::printf("fc logits          : class %zu wins (logit %d)\n",
+                best, logits[best]);
+    std::printf("\nmodeled device cost of this inference:\n%s",
+                exec.ledger().summary().c_str());
+
+    // ------------------------------------------------------------
+    // Throughput view of the paper's workloads (Table IV excerpt).
+    // ------------------------------------------------------------
+    CnnThroughputModel model;
+    std::printf("\nfull-network throughput (frames per second):\n");
+    for (const auto &net :
+         {CnnNetwork::lenet5(), CnnNetwork::alexnet()}) {
+        std::printf("  %-8s full-precision: CORUSCANT-7 %8.1f | "
+                    "SPIM %8.1f | ISAAC %8.1f\n",
+                    net.name.c_str(),
+                    model.fps(net, CnnScheme::Coruscant7,
+                              CnnMode::FullPrecision),
+                    model.fps(net, CnnScheme::Spim,
+                              CnnMode::FullPrecision),
+                    model.fps(net, CnnScheme::Isaac,
+                              CnnMode::FullPrecision));
+        std::printf("  %-8s ternary (DrAcc): CORUSCANT-7 %8.1f | "
+                    "ELP2IM %6.1f | Ambit %7.1f\n",
+                    net.name.c_str(),
+                    model.fps(net, CnnScheme::Coruscant7,
+                              CnnMode::TernaryWeight),
+                    model.fps(net, CnnScheme::Elp2Im,
+                              CnnMode::TernaryWeight),
+                    model.fps(net, CnnScheme::Ambit,
+                              CnnMode::TernaryWeight));
+    }
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Example: offloading matrix arithmetic to memory via the cpim ISA.
+ *
+ * Shows the full system path the paper describes in Sec. III-E: data
+ * lives in the DWM main memory; the host issues cpim instructions; the
+ * memory controller gathers operand rows, drives the subarray's PIM
+ * unit, and writes results back — no operand ever crosses the memory
+ * bus.  Then prints the Polybench-style system comparison (Fig. 10 /
+ * Fig. 11 view) for a gemm kernel.
+ */
+
+#include <cstdio>
+
+#include "apps/polybench/system_model.hpp"
+#include "controller/memory_controller.hpp"
+
+using namespace coruscant;
+
+int
+main()
+{
+    DwmMainMemory mem;
+    MemoryController ctrl(mem);
+
+    // ------------------------------------------------------------
+    // Element-wise C = A + B over 512 packed 16-bit values using two
+    // cpim add instructions (64 lanes of blocksize 16 per row... one
+    // row holds 32 lanes; 16 rows of A and B are summed pairwise).
+    // ------------------------------------------------------------
+    const std::size_t lanes_per_row = 512 / 16;
+    const std::uint64_t a_base = 0x100000; // operand DBC
+    const std::uint64_t c_base = 0x900000; // result rows
+
+    std::printf("staging A and B into memory rows...\n");
+    std::uint64_t expected_total = 0;
+    for (std::size_t r = 0; r < 8; ++r) {
+        BitVector a_row(512), b_row(512);
+        for (std::size_t l = 0; l < lanes_per_row; ++l) {
+            std::uint64_t av = (r * 131 + l * 17) % 20000;
+            std::uint64_t bv = (r * 97 + l * 29) % 20000;
+            a_row.insertUint64(l * 16, 16, av);
+            b_row.insertUint64(l * 16, 16, bv);
+            expected_total += (av + bv) & 0xFFFF;
+        }
+        // Operands for one cpim live in consecutive rows of one DBC.
+        mem.writeLine(ctrl.operandAddress(a_base + r * 64, 0), a_row);
+        mem.writeLine(ctrl.operandAddress(a_base + r * 64, 1), b_row);
+    }
+
+    std::printf("issuing cpim add instructions...\n");
+    std::uint64_t total = 0;
+    for (std::size_t r = 0; r < 8; ++r) {
+        CpimInstruction inst;
+        inst.op = CpimOp::Add;
+        inst.operands = 2;
+        inst.blockSize = 16;
+        inst.src = a_base + r * 64;
+        inst.dst = c_base + r * 64;
+        auto row = ctrl.execute(inst);
+        for (std::size_t l = 0; l < lanes_per_row; ++l)
+            total += row.sliceUint64(l * 16, 16);
+    }
+    std::printf("sum of all C lanes: %llu (expected %llu) — %s\n",
+                static_cast<unsigned long long>(total),
+                static_cast<unsigned long long>(expected_total),
+                total == expected_total ? "correct" : "WRONG");
+    std::printf("memory-side cost:\n%s", mem.ledger().summary().c_str());
+
+    // ------------------------------------------------------------
+    // System-level view: a gemm kernel on CPU+DRAM / CPU+DWM / PIM.
+    // ------------------------------------------------------------
+    PolybenchSystemModel model;
+    auto res = model.evaluate(runGemm(64));
+    std::printf("\ngemm(64) system comparison:\n");
+    std::printf("  CPU+DRAM : %12llu cycles\n",
+                static_cast<unsigned long long>(res.cpuDramCycles));
+    std::printf("  CPU+DWM  : %12llu cycles\n",
+                static_cast<unsigned long long>(res.cpuDwmCycles));
+    std::printf("  CORUSCANT: %12llu cycles  (%.2fx vs DWM, %.2fx vs "
+                "DRAM)\n",
+                static_cast<unsigned long long>(res.pimCycles),
+                res.latencyGainVsDwm(), res.latencyGainVsDram());
+    std::printf("  energy   : %.1fx reduction (%.1f uJ -> %.1f uJ)\n",
+                res.energyGain(), res.cpuEnergyPj / 1e6,
+                res.pimEnergyPj / 1e6);
+    return 0;
+}

@@ -1,0 +1,166 @@
+#include "apps/cnn/network.hpp"
+
+namespace coruscant {
+
+std::uint64_t
+CnnLayer::outputs() const
+{
+    switch (type) {
+      case Type::Conv:
+      case Type::Pool:
+        return static_cast<std::uint64_t>(outH) * outW * outC;
+      case Type::FullyConnected:
+        return outFeatures;
+    }
+    return 0;
+}
+
+std::uint64_t
+CnnLayer::macs() const
+{
+    switch (type) {
+      case Type::Conv:
+        return outputs() * kernel * kernel * inC;
+      case Type::FullyConnected:
+        return static_cast<std::uint64_t>(inFeatures) * outFeatures;
+      case Type::Pool:
+        return 0;
+    }
+    return 0;
+}
+
+std::uint64_t
+CnnLayer::reductionAdds() const
+{
+    switch (type) {
+      case Type::Conv:
+        // Paper Eq. 2.
+        return outputs() *
+               ((kernel * kernel - 1) * inC + (inC - 1));
+      case Type::FullyConnected:
+        return static_cast<std::uint64_t>(outFeatures) *
+               (inFeatures - 1);
+      case Type::Pool:
+        return 0;
+    }
+    return 0;
+}
+
+std::uint64_t
+CnnLayer::poolOps() const
+{
+    if (type != Type::Pool)
+        return 0;
+    return outputs() * kernel * kernel;
+}
+
+std::uint64_t
+CnnNetwork::totalMacs() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l : layers)
+        n += l.macs();
+    return n;
+}
+
+std::uint64_t
+CnnNetwork::totalReductionAdds() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l : layers)
+        n += l.reductionAdds();
+    return n;
+}
+
+std::uint64_t
+CnnNetwork::totalPoolOps() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l : layers)
+        n += l.poolOps();
+    return n;
+}
+
+namespace {
+
+CnnLayer
+conv(std::string name, std::size_t out_h, std::size_t out_w,
+     std::size_t out_c, std::size_t k, std::size_t in_c)
+{
+    CnnLayer l;
+    l.type = CnnLayer::Type::Conv;
+    l.name = std::move(name);
+    l.outH = out_h;
+    l.outW = out_w;
+    l.outC = out_c;
+    l.kernel = k;
+    l.inC = in_c;
+    return l;
+}
+
+CnnLayer
+pool(std::string name, std::size_t out_h, std::size_t out_w,
+     std::size_t out_c, std::size_t k)
+{
+    CnnLayer l;
+    l.type = CnnLayer::Type::Pool;
+    l.name = std::move(name);
+    l.outH = out_h;
+    l.outW = out_w;
+    l.outC = out_c;
+    l.kernel = k;
+    return l;
+}
+
+CnnLayer
+fc(std::string name, std::size_t in_f, std::size_t out_f)
+{
+    CnnLayer l;
+    l.type = CnnLayer::Type::FullyConnected;
+    l.name = std::move(name);
+    l.inFeatures = in_f;
+    l.outFeatures = out_f;
+    return l;
+}
+
+} // namespace
+
+CnnNetwork
+CnnNetwork::lenet5()
+{
+    CnnNetwork net;
+    net.name = "lenet5";
+    net.layers = {
+        conv("C1", 28, 28, 6, 5, 1),
+        pool("S2", 14, 14, 6, 2),
+        conv("C3", 10, 10, 16, 5, 6),
+        pool("S4", 5, 5, 16, 2),
+        conv("C5", 1, 1, 120, 5, 16),
+        fc("F6", 120, 84),
+        fc("OUT", 84, 10),
+    };
+    return net;
+}
+
+CnnNetwork
+CnnNetwork::alexnet()
+{
+    CnnNetwork net;
+    net.name = "alexnet";
+    net.layers = {
+        conv("conv1", 55, 55, 96, 11, 3),
+        pool("pool1", 27, 27, 96, 3),
+        conv("conv2", 27, 27, 256, 5, 48), // grouped (2 groups)
+        pool("pool2", 13, 13, 256, 3),
+        conv("conv3", 13, 13, 384, 3, 256),
+        conv("conv4", 13, 13, 384, 3, 192), // grouped
+        conv("conv5", 13, 13, 256, 3, 192), // grouped
+        pool("pool5", 6, 6, 256, 3),
+        fc("fc6", 9216, 4096),
+        fc("fc7", 4096, 4096),
+        fc("fc8", 4096, 1000),
+    };
+    return net;
+}
+
+} // namespace coruscant

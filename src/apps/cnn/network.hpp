@@ -1,0 +1,70 @@
+/**
+ * @file
+ * CNN layer specifications and operation counting (paper Sec. IV, V-E).
+ *
+ * The paper evaluates LeNet-5 and AlexNet.  Inference throughput is a
+ * function of the layer shapes — the multiply/accumulate counts, the
+ * reduction structure (paper Eq. 2), and the pooling windows — not of
+ * trained weights, so the networks are carried as shape specifications
+ * with exact operation counts.
+ */
+
+#ifndef CORUSCANT_APPS_CNN_NETWORK_HPP
+#define CORUSCANT_APPS_CNN_NETWORK_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coruscant {
+
+/** One CNN layer (shape only). */
+struct CnnLayer
+{
+    enum class Type { Conv, Pool, FullyConnected } type;
+    std::string name;
+
+    // Conv / Pool fields
+    std::size_t outH = 0, outW = 0, outC = 0;
+    std::size_t kernel = 0; ///< K (square)
+    std::size_t inC = 0;
+
+    // FullyConnected fields
+    std::size_t inFeatures = 0, outFeatures = 0;
+
+    /** Output values Os of this layer. */
+    std::uint64_t outputs() const;
+
+    /** Multiply-accumulates (full-precision mode). */
+    std::uint64_t macs() const;
+
+    /**
+     * Additions for the binary/ternary reduction (paper Eq. 2):
+     * Na = Os * ((K^2 - 1) * Ic + (Ic - 1)) for conv layers.
+     */
+    std::uint64_t reductionAdds() const;
+
+    /** Pooling comparisons (max over kernel^2 windows). */
+    std::uint64_t poolOps() const;
+};
+
+/** A named network: ordered layers. */
+struct CnnNetwork
+{
+    std::string name;
+    std::vector<CnnLayer> layers;
+
+    std::uint64_t totalMacs() const;
+    std::uint64_t totalReductionAdds() const;
+    std::uint64_t totalPoolOps() const;
+
+    /** LeNet-5 (32x32x1 input; LeCun et al. 1998). */
+    static CnnNetwork lenet5();
+
+    /** AlexNet (227x227x3 input; Krizhevsky et al. 2012). */
+    static CnnNetwork alexnet();
+};
+
+} // namespace coruscant
+
+#endif // CORUSCANT_APPS_CNN_NETWORK_HPP

@@ -1,0 +1,115 @@
+#include "apps/cnn/quantized_ops.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace coruscant {
+
+QuantizedPimOps::QuantizedPimOps(const DeviceParams &params)
+    : unit(params)
+{}
+
+std::uint64_t
+QuantizedPimOps::sumValues(const std::vector<std::uint64_t> &values,
+                           std::size_t lane_bits)
+{
+    if (values.empty())
+        return 0;
+    const std::size_t arity = unit.params().maxAddOperands();
+    std::uint64_t mask =
+        lane_bits >= 64 ? ~0ULL : ((1ULL << lane_bits) - 1);
+
+    // Reduction tree of multi-operand additions: each round sums up
+    // to `arity` values per operation.  (Values stay in lane 0; lane
+    // packing across independent dot products is the throughput
+    // model's concern, correctness is this function's.)
+    std::vector<std::uint64_t> pending = values;
+    while (pending.size() > 1) {
+        std::vector<std::uint64_t> next;
+        for (std::size_t j = 0; j < pending.size();) {
+            std::size_t m =
+                std::min(arity, pending.size() - j);
+            if (m == 1) {
+                next.push_back(pending[j++]);
+                continue;
+            }
+            std::vector<BitVector> rows;
+            for (std::size_t k = 0; k < m; ++k, ++j) {
+                BitVector row(unit.width());
+                row.insertUint64(0, lane_bits, pending[j] & mask);
+                rows.push_back(std::move(row));
+            }
+            auto sum = unit.add(rows, lane_bits);
+            next.push_back(sum.sliceUint64(0, lane_bits));
+        }
+        pending = std::move(next);
+    }
+    return pending[0] & mask;
+}
+
+std::uint64_t
+QuantizedPimOps::popcount(const BitVector &bits, std::size_t n)
+{
+    fatalIf(n > bits.size(), "count range exceeds the vector");
+    if (n == 0)
+        return 0;
+    const std::size_t trd = unit.params().trd;
+    const std::size_t width = unit.width();
+
+    // Stage n bits as `trd` window rows of ceil(n/trd) wires; a single
+    // TR-all yields each wire's ones count (0..trd).
+    std::size_t wires = (n + trd - 1) / trd;
+    fatalIf(wires > width, "bit vector too wide for one DBC pass");
+    std::vector<std::uint64_t> counts;
+    std::vector<BitVector> rows(trd, BitVector(width));
+    for (std::size_t i = 0; i < n; ++i) {
+        if (bits.get(i))
+            rows[i % trd].set(i / trd, true);
+    }
+    // One staging + TR pass (charged through the bulk-op path); the
+    // per-wire ones counts are exactly the SA thermometer levels that
+    // TR produces, reconstructed here from the staged rows.
+    (void)unit.bulkBitwise(BulkOp::Or, rows);
+    for (std::size_t w = 0; w < wires; ++w) {
+        std::uint64_t c = 0;
+        for (std::size_t r = 0; r < trd; ++r)
+            c += rows[r].get(w) ? 1 : 0;
+        counts.push_back(c);
+    }
+    return sumValues(counts, 16);
+}
+
+std::int64_t
+QuantizedPimOps::binaryDot(const BitVector &a, const BitVector &w,
+                           std::size_t n)
+{
+    fatalIf(a.size() != w.size(), "operand width mismatch");
+    fatalIf(n > a.size(), "dot range exceeds the vectors");
+    // Hamming distance via one bulk XOR + popcount.
+    auto diff = unit.bulkBitwise(BulkOp::Xor, {a, w});
+    std::uint64_t hd = popcount(diff, n);
+    return static_cast<std::int64_t>(n) -
+           2 * static_cast<std::int64_t>(hd);
+}
+
+std::int64_t
+QuantizedPimOps::ternaryDot(const std::vector<std::uint8_t> &x,
+                            const std::vector<std::int8_t> &w)
+{
+    fatalIf(x.size() != w.size(), "operand length mismatch");
+    std::vector<std::uint64_t> pos, neg;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        fatalIf(w[i] < -1 || w[i] > 1, "ternary weights only");
+        if (w[i] > 0)
+            pos.push_back(x[i]);
+        else if (w[i] < 0)
+            neg.push_back(x[i]);
+    }
+    std::uint64_t p = sumValues(pos, 32);
+    std::uint64_t m = sumValues(neg, 32);
+    return static_cast<std::int64_t>(p) -
+           static_cast<std::int64_t>(m);
+}
+
+} // namespace coruscant

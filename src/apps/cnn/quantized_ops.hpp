@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Functional binary / ternary network primitives through PIM ops
+ * (paper Sec. IV, the DrAcc and NID modes of Table IV).
+ *
+ * Binary (XNOR-net / NID flavor): activations and weights in {-1,+1}
+ * are bit-encoded; a dot product is n - 2*popcount(a XOR w), with the
+ * XOR computed by one transverse read and the popcount by the
+ * in-memory reduction: bit chunks are staged as TR-window rows, one
+ * TR-all counts each wire's ones (0..7), and the per-wire counts are
+ * summed with multi-operand additions.
+ *
+ * Ternary (DrAcc flavor): weights in {-1,0,+1} select activations
+ * into a positive and a negative accumulation group; both groups are
+ * summed with multi-operand additions and subtracted via the
+ * complement trick (no multiplier anywhere).
+ */
+
+#ifndef CORUSCANT_APPS_CNN_QUANTIZED_OPS_HPP
+#define CORUSCANT_APPS_CNN_QUANTIZED_OPS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/coruscant_unit.hpp"
+
+namespace coruscant {
+
+/** Binary/ternary dot products and small conv layers on PIM. */
+class QuantizedPimOps
+{
+  public:
+    explicit QuantizedPimOps(const DeviceParams &params =
+                                 DeviceParams::coruscantDefault());
+
+    /**
+     * Population count of the low @p n bits of @p bits via staged
+     * TR-window chunks plus addition of the per-wire counts.
+     */
+    std::uint64_t popcount(const BitVector &bits, std::size_t n);
+
+    /**
+     * Dot product of two {-1,+1} vectors bit-encoded in @p a and
+     * @p w ('1' bit = +1): returns sum_i a_i * w_i = n - 2*HD(a,w).
+     */
+    std::int64_t binaryDot(const BitVector &a, const BitVector &w,
+                           std::size_t n);
+
+    /**
+     * Ternary dot product: sum of x[i]*w[i] with w[i] in {-1,0,+1}
+     * and x[i] unsigned 8-bit, computed with multi-operand additions
+     * only.
+     */
+    std::int64_t ternaryDot(const std::vector<std::uint8_t> &x,
+                            const std::vector<std::int8_t> &w);
+
+    /**
+     * One binary convolution output: the window and kernel are
+     * {-1,+1} planes of size k*k*c (bit-encoded, index-aligned).
+     */
+    std::int64_t
+    binaryConvOutput(const BitVector &window, const BitVector &kernel,
+                     std::size_t elems)
+    {
+        return binaryDot(window, kernel, elems);
+    }
+
+    const CostLedger &ledger() const { return unit.ledger(); }
+    void resetCosts() { unit.resetCosts(); }
+
+  private:
+    /** Sum a list of unsigned values via packed-lane PIM additions. */
+    std::uint64_t sumValues(const std::vector<std::uint64_t> &values,
+                            std::size_t lane_bits);
+
+    CoruscantUnit unit;
+};
+
+} // namespace coruscant
+
+#endif // CORUSCANT_APPS_CNN_QUANTIZED_OPS_HPP

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Polybench kernels with operation recording (paper Sec. V-C).
+ *
+ * The paper extracted Polybench traces with an Intel Pin tool and
+ * mapped the addition/multiplication operations to PIM.  We rebuild
+ * the equivalent: each kernel is implemented directly (computing real
+ * results on real data) and instrumented with an OpRecorder that
+ * counts the arithmetic operations and the element loads/stores a
+ * trace would contain.  The selected kernels are the
+ * addition/multiplication-heavy subset the paper targets: linear
+ * algebra (2mm, 3mm, gemm, gemver, gesummv, atax, bicg, mvt, syrk,
+ * syr2k, trmm) and the doitgen stencil-like contraction.
+ */
+
+#ifndef CORUSCANT_APPS_POLYBENCH_KERNELS_HPP
+#define CORUSCANT_APPS_POLYBENCH_KERNELS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coruscant {
+
+/** Pin-tool-equivalent operation/access counts for one kernel run. */
+struct OpRecorder
+{
+    std::uint64_t adds = 0;   ///< floating add/sub operations
+    std::uint64_t muls = 0;   ///< floating multiply operations
+    std::uint64_t loads = 0;  ///< element loads
+    std::uint64_t stores = 0; ///< element stores
+
+    void
+    merge(const OpRecorder &o)
+    {
+        adds += o.adds;
+        muls += o.muls;
+        loads += o.loads;
+        stores += o.stores;
+    }
+};
+
+/** A named kernel run: its trace and a checksum of the real output. */
+struct KernelRun
+{
+    std::string name;
+    OpRecorder trace;
+    double checksum = 0.0; ///< sum of output elements (functional check)
+};
+
+/** All Polybench kernels in the reproduction, run at size @p n. */
+std::vector<KernelRun> runAllPolybench(std::size_t n);
+
+/** Individual kernels (sizes: square matrices / vectors of @p n). */
+KernelRun runGemm(std::size_t n);
+KernelRun run2mm(std::size_t n);
+KernelRun run3mm(std::size_t n);
+KernelRun runGemver(std::size_t n);
+KernelRun runGesummv(std::size_t n);
+KernelRun runAtax(std::size_t n);
+KernelRun runBicg(std::size_t n);
+KernelRun runMvt(std::size_t n);
+KernelRun runSyrk(std::size_t n);
+KernelRun runSyr2k(std::size_t n);
+KernelRun runTrmm(std::size_t n);
+KernelRun runDoitgen(std::size_t n);
+
+} // namespace coruscant
+
+#endif // CORUSCANT_APPS_POLYBENCH_KERNELS_HPP

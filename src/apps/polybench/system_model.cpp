@@ -1,0 +1,137 @@
+#include "apps/polybench/system_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/cpu_system.hpp"
+
+namespace coruscant {
+
+PolybenchSystemModel::PolybenchSystemModel(const MemoryConfig &config,
+                                           const SystemModelParams &params)
+    : cfg(config), p(params), cost(config.device.trd)
+{}
+
+std::uint64_t
+PolybenchSystemModel::cpuLatency(const OpRecorder &trace,
+                                 const DdrTiming &timing) const
+{
+    double accesses =
+        static_cast<double>(trace.loads + trace.stores);
+    if (accesses == 0)
+        return 0;
+    // Effective lines: unit-stride accesses amortize 16 elements per
+    // 64 B line; strided accesses move a line per element.
+    double elements_per_line = 64.0 / 4.0;
+    double lines = accesses * ((1.0 - p.strideFraction)
+                               / elements_per_line
+                               + p.strideFraction);
+    double t_mem =
+        static_cast<double>(timing.readCycles(p.cpuDwmAvgShift)) +
+        p.controllerOverhead;
+    double per_access = p.cacheHitFraction * p.cacheLatency +
+                        (1.0 - p.cacheHitFraction) * t_mem;
+    // Latency-bound: bounded miss overlap.  Bandwidth-bound: miss
+    // traffic on the 16 B/cycle data bus.
+    double latency_bound =
+        accesses * per_access / p.memoryLevelParallelism;
+    double bus_bound =
+        lines * (1.0 - p.cacheHitFraction) * 4.0; // 4 cycles per line
+    return static_cast<std::uint64_t>(
+        std::llround(std::max(latency_bound, bus_bound)));
+}
+
+PolybenchResult
+PolybenchSystemModel::evaluate(const KernelRun &run) const
+{
+    PolybenchResult res;
+    res.kernel = run.name;
+    const OpRecorder &t = run.trace;
+
+    res.cpuDramCycles = cpuLatency(t, DdrTiming::dram());
+    res.cpuDwmCycles = cpuLatency(t, DdrTiming::dwm());
+
+    // ------------------------------------------------------------------
+    // PIM latency: lane-pack the adds and multiplies, dispatch over the
+    // PIM tiles in high-throughput mode.
+    // ------------------------------------------------------------------
+    std::size_t add_lanes = cfg.device.wiresPerDbc / p.dataBits;
+    std::size_t mul_lanes = cfg.device.wiresPerDbc / (2 * p.dataBits);
+    std::uint64_t add_ops = (t.adds + add_lanes - 1) / add_lanes;
+    std::uint64_t mul_ops = (t.muls + mul_lanes - 1) / mul_lanes;
+
+    OpCost add_cost = cost.add(2, p.dataBits);
+    OpCost mul_cost = cost.multiply(p.dataBits);
+    // Operand marshaling through the subarray row buffer.
+    std::uint64_t marshal =
+        static_cast<std::uint64_t>(p.marshaledRows) *
+        (cfg.dwmTiming.readCycles(1) + cfg.dwmTiming.writeCycles(1));
+
+    std::size_t pim_tiles =
+        cfg.banks * cfg.subarraysPerBank; // one PIM tile per subarray
+
+    // A PIM tile fires its 16 DBC lanes as one unit; issue commands
+    // are per tile-op.
+    std::uint64_t add_tile_ops =
+        (add_ops + cfg.pimDbcsPerSubarray - 1) / cfg.pimDbcsPerSubarray;
+    std::uint64_t mul_tile_ops =
+        (mul_ops + cfg.pimDbcsPerSubarray - 1) / cfg.pimDbcsPerSubarray;
+    CommandQueueModel q2(pim_tiles);
+    auto sa = q2.runUniform(
+        add_tile_ops, add_cost.cycles + marshal,
+        static_cast<std::uint64_t>(std::llround(p.issueCmdsPerTileOp)));
+    CommandQueueModel q3(pim_tiles);
+    auto sm = q3.runUniform(
+        mul_tile_ops, mul_cost.cycles + marshal,
+        static_cast<std::uint64_t>(std::llround(p.issueCmdsPerTileOp)));
+    res.pimCycles = sa.makespanCycles + sm.makespanCycles;
+    double issue_total = static_cast<double>(sa.issueCycles
+                                             + sm.issueCycles);
+    res.pimQueueFraction =
+        res.pimCycles > 0
+            ? std::min(1.0, issue_total
+                                / static_cast<double>(res.pimCycles))
+            : 0.0;
+
+    // ------------------------------------------------------------------
+    // Energy (Fig. 11): CPU system moves every operand over the bus at
+    // line granularity and computes in the ALU; PIM computes in place.
+    // ------------------------------------------------------------------
+    CpuSystem cpu(DdrTiming::dwm());
+    double accesses = static_cast<double>(t.loads + t.stores);
+    double lines = accesses * ((1.0 - p.strideFraction) / 16.0
+                               + p.strideFraction);
+    AccessSummary s;
+    s.linesRead = static_cast<std::uint64_t>(
+        lines * static_cast<double>(t.loads) / accesses);
+    s.linesWritten = static_cast<std::uint64_t>(
+        lines * static_cast<double>(t.stores) / accesses);
+    s.adds32 = t.adds;
+    s.muls32 = t.muls;
+    res.cpuEnergyPj = cpu.energyPj(s);
+
+    double marshal_energy =
+        static_cast<double>(p.marshaledRows) * 512.0 *
+        (cfg.device.readEnergyPj + cfg.device.writeEnergyPj);
+    res.pimEnergyPj =
+        static_cast<double>(add_ops)
+            * (add_cost.energyPj * static_cast<double>(add_lanes)
+               + marshal_energy) +
+        static_cast<double>(mul_ops)
+            * (mul_cost.energyPj * static_cast<double>(mul_lanes)
+               + marshal_energy);
+    return res;
+}
+
+std::vector<PolybenchResult>
+PolybenchSystemModel::evaluateAll(
+    const std::vector<KernelRun> &runs) const
+{
+    std::vector<PolybenchResult> out;
+    out.reserve(runs.size());
+    for (const auto &run : runs)
+        out.push_back(evaluate(run));
+    return out;
+}
+
+} // namespace coruscant

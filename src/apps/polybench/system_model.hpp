@@ -1,0 +1,116 @@
+/**
+ * @file
+ * System-level latency/energy model for the Polybench experiments
+ * (paper Fig. 10 and Fig. 11).
+ *
+ * Three systems are compared on the same kernel trace:
+ *   - CPU + DRAM and CPU + DWM: the trace's loads/stores stream
+ *     through the cache hierarchy; misses pay the technology's access
+ *     time.  The CPU sustains a bounded number of outstanding misses
+ *     (memory-level parallelism), which bounds how much latency
+ *     overlaps.
+ *   - CORUSCANT PIM: additions and multiplications execute in the
+ *     PIM-enabled DBCs.  Every PIM tile processes one 512-bit row per
+ *     operation (16 32-bit lanes), operand rows are marshaled through
+ *     the subarray row buffer, and the per-channel command bus issues
+ *     the address-bearing commands — the paper's "high throughput
+ *     mode", whose queuing delay dominates (~80%) the PIM runtime.
+ *
+ * Modeling constants below are documented calibration points; the
+ * relative results across kernels are emergent from the traces.
+ */
+
+#ifndef CORUSCANT_APPS_POLYBENCH_SYSTEM_MODEL_HPP
+#define CORUSCANT_APPS_POLYBENCH_SYSTEM_MODEL_HPP
+
+#include "apps/polybench/kernels.hpp"
+#include "arch/config.hpp"
+#include "controller/queue_model.hpp"
+#include "core/op_cost.hpp"
+
+namespace coruscant {
+
+/** Calibration constants for the system model. */
+struct SystemModelParams
+{
+    // CPU side -------------------------------------------------------
+    double cacheHitFraction = 0.87; ///< accesses served on chip
+    double cacheLatency = 8.0;      ///< cycles for a cache hit
+    double memoryLevelParallelism = 5.5; ///< sustained outstanding misses
+    double controllerOverhead = 16.0; ///< per-miss queue/bus overhead
+    unsigned cpuDwmAvgShift = 4;    ///< average S for CPU-side accesses
+    /** Fraction of accesses with no spatial locality (strided operand
+     *  walks): these move a whole 64 B line per element. */
+    double strideFraction = 0.30;
+
+    // PIM side -------------------------------------------------------
+    std::size_t dataBits = 32;      ///< lane width for polybench data
+    /** Address-bearing commands per PIM-tile operation (16 lanes x
+     *  one DBC row per tile): each lane op needs ACT+CAS pairs for two
+     *  operand copies, the compute trigger, and the write-back. */
+    double issueCmdsPerTileOp = 128.0;
+    /** Operand/result rows marshaled per operation through the
+     *  subarray row buffer. */
+    std::size_t marshaledRows = 3;
+};
+
+/** Per-kernel results for Fig. 10 / Fig. 11. */
+struct PolybenchResult
+{
+    std::string kernel;
+    std::uint64_t cpuDramCycles = 0;
+    std::uint64_t cpuDwmCycles = 0;
+    std::uint64_t pimCycles = 0;
+    double cpuEnergyPj = 0.0; ///< data movement + CPU ALU (DWM system)
+    double pimEnergyPj = 0.0;
+    double pimQueueFraction = 0.0; ///< share of PIM time issue-bound
+
+    double
+    latencyGainVsDwm() const
+    {
+        return static_cast<double>(cpuDwmCycles) /
+               static_cast<double>(pimCycles);
+    }
+
+    double
+    latencyGainVsDram() const
+    {
+        return static_cast<double>(cpuDramCycles) /
+               static_cast<double>(pimCycles);
+    }
+
+    double
+    energyGain() const
+    {
+        return cpuEnergyPj / pimEnergyPj;
+    }
+};
+
+/** Evaluates kernel traces on the three systems. */
+class PolybenchSystemModel
+{
+  public:
+    explicit PolybenchSystemModel(
+        const MemoryConfig &cfg = MemoryConfig{},
+        const SystemModelParams &params = SystemModelParams{});
+
+    PolybenchResult evaluate(const KernelRun &run) const;
+
+    /** Evaluate all kernels plus the geometric means. */
+    std::vector<PolybenchResult>
+    evaluateAll(const std::vector<KernelRun> &runs) const;
+
+    const SystemModelParams &params() const { return p; }
+
+  private:
+    std::uint64_t cpuLatency(const OpRecorder &trace,
+                             const DdrTiming &timing) const;
+
+    MemoryConfig cfg;
+    SystemModelParams p;
+    CoruscantCostModel cost;
+};
+
+} // namespace coruscant
+
+#endif // CORUSCANT_APPS_POLYBENCH_SYSTEM_MODEL_HPP

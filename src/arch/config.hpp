@@ -1,0 +1,132 @@
+/**
+ * @file
+ * System-level memory organization (paper Table II / Fig. 2).
+ *
+ * A 1 GB (8 Gb) DWM main memory presenting a DDR3-1600 interface:
+ * 32 banks x 64 subarrays x 16 tiles; each 512x512 tile holds 16 DBCs
+ * of 512 nanowires x 32 data domains.  One tile's worth of DBCs per
+ * subarray is PIM-enabled ("1-PIM": 15 + 1-PIM DBCs per tile).
+ */
+
+#ifndef CORUSCANT_ARCH_CONFIG_HPP
+#define CORUSCANT_ARCH_CONFIG_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "arch/timing.hpp"
+#include "dwm/device_params.hpp"
+
+namespace coruscant {
+
+/**
+ * Address interleaving policy: how consecutive cache lines map onto
+ * the hierarchy.  BankFirst maximizes bank-level parallelism for
+ * streams (each line a different bank; rows within a DBC are revisited
+ * with stride 1, keeping DW shifts short).  RowFirst walks the rows of
+ * one DBC before moving on — minimal shifting, no bank overlap — the
+ * data-placement trade-off studied by the ShiftsReduce line of work
+ * the paper builds on.
+ */
+enum class Interleave
+{
+    BankFirst,
+    RowFirst,
+};
+
+/** Geometry and interface of the CORUSCANT main memory. */
+struct MemoryConfig
+{
+    Interleave interleave = Interleave::BankFirst;
+
+    std::size_t banks = 32;
+    std::size_t subarraysPerBank = 64;
+    std::size_t tilesPerSubarray = 16;
+    std::size_t dbcsPerTile = 16;
+    std::size_t pimDbcsPerSubarray = 16; ///< one PIM tile's worth
+
+    DeviceParams device = DeviceParams::coruscantDefault();
+    DdrTiming dwmTiming = DdrTiming::dwm();
+    BusConfig bus;
+
+    /** Bits stored per DBC. */
+    std::size_t
+    bitsPerDbc() const
+    {
+        return device.wiresPerDbc * device.domainsPerWire;
+    }
+
+    /** All DBCs in the memory. */
+    std::size_t
+    totalDbcs() const
+    {
+        return banks * subarraysPerBank * tilesPerSubarray * dbcsPerTile;
+    }
+
+    /** PIM-enabled DBCs (paper: 32768 for the default config). */
+    std::size_t
+    totalPimDbcs() const
+    {
+        return banks * subarraysPerBank * pimDbcsPerSubarray;
+    }
+
+    /** Memory capacity in bytes (1 GiB for the defaults). */
+    std::uint64_t
+    capacityBytes() const
+    {
+        return static_cast<std::uint64_t>(totalDbcs()) * bitsPerDbc() / 8;
+    }
+
+    /** Bytes in one DBC row (one 512-bit cache line). */
+    std::size_t
+    rowBytes() const
+    {
+        return device.wiresPerDbc / 8;
+    }
+};
+
+/** Physical location of one cache-line-sized row. */
+struct LineAddress
+{
+    std::size_t bank;
+    std::size_t subarray;
+    std::size_t tile;
+    std::size_t dbc;
+    std::size_t row;
+
+    bool
+    operator==(const LineAddress &o) const
+    {
+        return bank == o.bank && subarray == o.subarray &&
+               tile == o.tile && dbc == o.dbc && row == o.row;
+    }
+};
+
+/**
+ * Byte address -> line location.  Lines interleave across banks first
+ * (bank bits lowest) so streaming accesses exploit bank parallelism,
+ * then walk rows within a DBC to keep shifts short.
+ */
+class AddressMap
+{
+  public:
+    explicit AddressMap(const MemoryConfig &cfg)
+        : config(cfg)
+    {}
+
+    /** Decompose @p byte_addr; must be line-aligned capacity-wise. */
+    LineAddress decode(std::uint64_t byte_addr) const;
+
+    /** Inverse of decode. */
+    std::uint64_t encode(const LineAddress &loc) const;
+
+    /** Flat DBC index for sparse storage keys. */
+    std::uint64_t dbcId(const LineAddress &loc) const;
+
+  private:
+    MemoryConfig config;
+};
+
+} // namespace coruscant
+
+#endif // CORUSCANT_ARCH_CONFIG_HPP

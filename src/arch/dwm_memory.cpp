@@ -1,0 +1,124 @@
+#include "arch/dwm_memory.hpp"
+
+#include "util/logging.hpp"
+
+namespace coruscant {
+
+DwmMainMemory::DwmMainMemory(const MemoryConfig &config)
+    : cfg(config), amap(config)
+{
+    cfg.device.validate();
+}
+
+DomainBlockCluster &
+DwmMainMemory::dbcFor(const LineAddress &loc)
+{
+    std::uint64_t id = amap.dbcId(loc);
+    auto it = dbcs.find(id);
+    if (it == dbcs.end()) {
+        it = dbcs.emplace(id, std::make_unique<DomainBlockCluster>(
+                                  cfg.device))
+                 .first;
+    }
+    return *it->second;
+}
+
+unsigned
+DwmMainMemory::alignForAccess(DomainBlockCluster &dbc, std::size_t row)
+{
+    // Pick the port that can reach the row with the shorter shift.
+    Port port;
+    if (dbc.canAlign(row, Port::Left) && dbc.canAlign(row, Port::Right)) {
+        auto dist = [&](Port p) {
+            auto cur = static_cast<long>(dbc.rowAtPort(p));
+            return std::abs(static_cast<long>(row) - cur);
+        };
+        port = dist(Port::Left) <= dist(Port::Right) ? Port::Left
+                                                     : Port::Right;
+    } else if (dbc.canAlign(row, Port::Left)) {
+        port = Port::Left;
+    } else {
+        port = Port::Right;
+    }
+    std::size_t shifts = dbc.alignRowToPort(row, port);
+    shiftSteps += shifts;
+    return static_cast<unsigned>(shifts);
+}
+
+BitVector
+DwmMainMemory::readLine(std::uint64_t byte_addr)
+{
+    LineAddress loc = amap.decode(byte_addr);
+    DomainBlockCluster &dbc = dbcFor(loc);
+    unsigned shifts = alignForAccess(dbc, loc.row);
+    costs.charge("read", cfg.dwmTiming.readCycles(shifts),
+                 static_cast<double>(cfg.device.wiresPerDbc)
+                         * cfg.device.readEnergyPj +
+                     static_cast<double>(shifts)
+                         * static_cast<double>(cfg.device.wiresPerDbc)
+                         * cfg.device.shiftEnergyPj);
+    // After alignment the row sits under one of the ports.
+    Port port = dbc.rowAtPort(Port::Left) == loc.row ? Port::Left
+                                                     : Port::Right;
+    return dbc.readRowAtPort(port);
+}
+
+void
+DwmMainMemory::writeLine(std::uint64_t byte_addr, const BitVector &data)
+{
+    fatalIf(data.size() != cfg.device.wiresPerDbc,
+            "line width mismatch");
+    LineAddress loc = amap.decode(byte_addr);
+    DomainBlockCluster &dbc = dbcFor(loc);
+    unsigned shifts = alignForAccess(dbc, loc.row);
+    costs.charge("write", cfg.dwmTiming.writeCycles(shifts),
+                 static_cast<double>(cfg.device.wiresPerDbc)
+                         * cfg.device.writeEnergyPj +
+                     static_cast<double>(shifts)
+                         * static_cast<double>(cfg.device.wiresPerDbc)
+                         * cfg.device.shiftEnergyPj);
+    Port port = dbc.rowAtPort(Port::Left) == loc.row ? Port::Left
+                                                     : Port::Right;
+    dbc.writeRowAtPort(port, data);
+}
+
+void
+DwmMainMemory::copyLine(std::uint64_t src_addr, std::uint64_t dst_addr)
+{
+    // Data movement within the memory (paper Sec. III-A): copies
+    // within a subarray ride the local row buffer; crossing a
+    // subarray or bank uses the hierarchical row-buffer path, which
+    // occupies the internal bus for a line burst.
+    LineAddress src = amap.decode(src_addr);
+    LineAddress dst = amap.decode(dst_addr);
+    BitVector line = readLine(src_addr);
+    if (src.bank != dst.bank || src.subarray != dst.subarray) {
+        costs.charge("interlink", cfg.bus.lineBurstCycles(),
+                     64.0 * 2.0); // internal link energy per byte x2
+    }
+    writeLine(dst_addr, line);
+    costs.charge("rowclone", 0, 0); // marker for reporting
+}
+
+CoruscantUnit &
+DwmMainMemory::pimUnit(std::size_t bank, std::size_t subarray,
+                       std::size_t pim_index)
+{
+    fatalIf(bank >= cfg.banks, "bank out of range");
+    fatalIf(subarray >= cfg.subarraysPerBank, "subarray out of range");
+    fatalIf(pim_index >= cfg.pimDbcsPerSubarray,
+            "PIM DBC index out of range");
+    std::uint64_t id =
+        (bank * cfg.subarraysPerBank + subarray) * cfg.pimDbcsPerSubarray
+        + pim_index;
+    auto it = pimUnits.find(id);
+    if (it == pimUnits.end()) {
+        it = pimUnits
+                 .emplace(id,
+                          std::make_unique<CoruscantUnit>(cfg.device))
+                 .first;
+    }
+    return *it->second;
+}
+
+} // namespace coruscant

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * DWM main memory: the full bank/subarray/tile/DBC hierarchy with
+ * shift-aware access timing (paper Fig. 2, Table II).
+ *
+ * Storage is sparse: DBC state is materialized on first touch, so a
+ * 1 GB memory can be modeled without allocating a gigabyte.  Every
+ * access charges the DWM DDR timing, with the precharge slot replaced
+ * by the actual DW shift distance between the DBC's current port
+ * alignment and the requested row — the "S" of Table II.
+ */
+
+#ifndef CORUSCANT_ARCH_DWM_MEMORY_HPP
+#define CORUSCANT_ARCH_DWM_MEMORY_HPP
+
+#include <memory>
+#include <unordered_map>
+
+#include "arch/config.hpp"
+#include "core/coruscant_unit.hpp"
+#include "dwm/dbc.hpp"
+#include "util/stats.hpp"
+
+namespace coruscant {
+
+/** Sparse, shift-aware DWM main memory with PIM-enabled DBCs. */
+class DwmMainMemory
+{
+  public:
+    explicit DwmMainMemory(const MemoryConfig &cfg = MemoryConfig{});
+
+    const MemoryConfig &config() const { return cfg; }
+    const AddressMap &addressMap() const { return amap; }
+
+    /** Read the 512-bit line at @p byte_addr (charges DWM timing). */
+    BitVector readLine(std::uint64_t byte_addr);
+
+    /** Write the 512-bit line at @p byte_addr (charges DWM timing). */
+    void writeLine(std::uint64_t byte_addr, const BitVector &data);
+
+    /**
+     * In-memory row copy between two locations in the same subarray
+     * via the shared row buffer (RowClone-style; paper Sec. III-A):
+     * one read plus one write, no bus transfer.
+     */
+    void copyLine(std::uint64_t src_addr, std::uint64_t dst_addr);
+
+    /**
+     * PIM unit serving a location's subarray.  Lazily materialized;
+     * each subarray has `pimDbcsPerSubarray` PIM DBCs, selected by
+     * @p pim_index.
+     */
+    CoruscantUnit &pimUnit(std::size_t bank, std::size_t subarray,
+                           std::size_t pim_index = 0);
+
+    /** Aggregate access cost (timing charged in memory cycles). */
+    const CostLedger &ledger() const { return costs; }
+    void resetCosts() { costs.reset(); }
+
+    /** Total DW shift steps performed by accesses so far. */
+    std::uint64_t totalShifts() const { return shiftSteps; }
+
+    /** DBCs materialized so far (sparse footprint). */
+    std::size_t touchedDbcs() const { return dbcs.size(); }
+
+  private:
+    DomainBlockCluster &dbcFor(const LineAddress &loc);
+    unsigned alignForAccess(DomainBlockCluster &dbc, std::size_t row);
+
+    MemoryConfig cfg;
+    AddressMap amap;
+    std::unordered_map<std::uint64_t, std::unique_ptr<DomainBlockCluster>>
+        dbcs;
+    std::unordered_map<std::uint64_t, std::unique_ptr<CoruscantUnit>>
+        pimUnits;
+    CostLedger costs;
+    std::uint64_t shiftSteps = 0;
+};
+
+} // namespace coruscant
+
+#endif // CORUSCANT_ARCH_DWM_MEMORY_HPP

@@ -1,0 +1,91 @@
+#include "arch/trace.hpp"
+
+#include "controller/queue_model.hpp"
+#include "util/rng.hpp"
+
+namespace coruscant {
+
+MemoryTrace
+MemoryTrace::sequential(std::uint64_t base, std::size_t lines)
+{
+    MemoryTrace t;
+    for (std::size_t i = 0; i < lines; ++i)
+        t.append(MemEvent::Type::Load, base + i * 64);
+    return t;
+}
+
+MemoryTrace
+MemoryTrace::strided(std::uint64_t base, std::size_t lines,
+                     std::uint64_t stride)
+{
+    MemoryTrace t;
+    for (std::size_t i = 0; i < lines; ++i)
+        t.append(MemEvent::Type::Load, base + i * stride);
+    return t;
+}
+
+MemoryTrace
+MemoryTrace::random(std::uint64_t span, std::size_t count,
+                    std::uint64_t seed)
+{
+    MemoryTrace t;
+    Rng rng(seed);
+    for (std::size_t i = 0; i < count; ++i)
+        t.append(MemEvent::Type::Load, rng.next() % span);
+    return t;
+}
+
+MemoryTrace
+MemoryTrace::readModifyWrite(std::uint64_t base, std::size_t lines)
+{
+    MemoryTrace t;
+    for (std::size_t i = 0; i < lines; ++i) {
+        t.append(MemEvent::Type::Load, base + i * 64);
+        t.append(MemEvent::Type::Store, base + i * 64);
+    }
+    return t;
+}
+
+ReplayResult
+TraceReplayer::replay(const MemoryTrace &trace)
+{
+    ReplayResult res;
+    std::uint64_t shifts_before = mem.totalShifts();
+
+    // Replay functionally, collecting per-access service times from
+    // the shift-aware timing model.
+    std::vector<QueueItem> items;
+    items.reserve(trace.size());
+    const BitVector zero(mem.config().device.wiresPerDbc);
+    for (const auto &e : trace.events()) {
+        std::uint64_t before = mem.ledger().cycles();
+        LineAddress loc = mem.addressMap().decode(e.addr);
+        if (e.type == MemEvent::Type::Load) {
+            (void)mem.readLine(e.addr);
+        } else {
+            mem.writeLine(e.addr, zero);
+        }
+        std::uint64_t service = mem.ledger().cycles() - before;
+        items.push_back({loc.bank, service, 1});
+        res.serialCycles += service;
+    }
+
+    CommandQueueModel queue(mem.config().banks);
+    auto sched = queue.run(items);
+    res.makespanCycles = sched.makespanCycles;
+    res.totalShifts = mem.totalShifts() - shifts_before;
+    if (!trace.events().empty()) {
+        res.avgShiftPerAccess =
+            static_cast<double>(res.totalShifts) /
+            static_cast<double>(trace.size());
+    }
+    if (res.makespanCycles > 0) {
+        res.bankUtilization =
+            static_cast<double>(res.serialCycles) /
+            (static_cast<double>(res.makespanCycles) *
+             static_cast<double>(mem.config().banks));
+    }
+    return res;
+}
+
+} // namespace coruscant

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * CPU + main-memory baseline (paper Table II, Sec. V-C).
+ *
+ * Models the non-PIM alternative: operands stream over the DDR3-1600
+ * bus to an Intel Xeon X5670-class processor and results stream back.
+ * Latency is the memory-system makespan of the access stream (the
+ * workloads are memory bound); energy is the paper's transfer cost of
+ * 1250 pJ/Byte plus the CPU ALU energies (111 pJ per 32-bit add,
+ * 164 pJ per 32-bit multiply).
+ */
+
+#ifndef CORUSCANT_BASELINES_CPU_SYSTEM_HPP
+#define CORUSCANT_BASELINES_CPU_SYSTEM_HPP
+
+#include <cstdint>
+
+#include "arch/timing.hpp"
+
+namespace coruscant {
+
+/** Energy constants from paper Table II. */
+struct CpuEnergy
+{
+    double transferPjPerByte = 1250.0;
+    double add32Pj = 111.0;
+    double mul32Pj = 164.0;
+};
+
+/** Streamed access trace summary. */
+struct AccessSummary
+{
+    std::uint64_t linesRead = 0;    ///< 64-byte lines fetched
+    std::uint64_t linesWritten = 0; ///< 64-byte lines stored
+    std::uint64_t adds32 = 0;       ///< 32-bit CPU additions
+    std::uint64_t muls32 = 0;       ///< 32-bit CPU multiplications
+};
+
+/** CPU system over either DRAM or DWM main memory. */
+class CpuSystem
+{
+  public:
+    /**
+     * @param timing memory-technology timing (DdrTiming::dram()/dwm())
+     * @param banks bank-level parallelism (paper: 32)
+     * @param avg_shift average DW shift per DWM access (ignored for
+     *        DRAM); sequential streams keep ports near the data
+     */
+    CpuSystem(DdrTiming timing, std::size_t banks = 32,
+              unsigned avg_shift = 4)
+        : timing_(timing), banks_(banks), avgShift(avg_shift)
+    {}
+
+    /**
+     * Memory-system makespan for an access stream, in memory cycles.
+     *
+     * The stream is bandwidth-limited: requests interleave over the
+     * banks, so the makespan is the larger of the data-bus occupancy
+     * and the per-bank service time divided by the bank parallelism.
+     */
+    std::uint64_t latencyCycles(const AccessSummary &s) const;
+
+    /** Same in nanoseconds (paper: 1.25 ns memory cycle). */
+    double
+    latencyNs(const AccessSummary &s) const
+    {
+        return static_cast<double>(latencyCycles(s)) * bus.cycleNs;
+    }
+
+    /** Data-movement plus ALU energy, in pJ. */
+    double energyPj(const AccessSummary &s) const;
+
+    const DdrTiming &timing() const { return timing_; }
+
+  private:
+    DdrTiming timing_;
+    std::size_t banks_;
+    unsigned avgShift;
+    BusConfig bus;
+    CpuEnergy energy;
+};
+
+/**
+ * ISAAC ReRAM crossbar accelerator (Shafiee et al., ISCA 2016), as a
+ * published-throughput analytical stand-in for paper Table IV.
+ *
+ * The paper cites ISAAC's CNN inference throughput directly; we carry
+ * those numbers plus a MAC-rate extrapolation for other networks.
+ */
+struct IsaacModel
+{
+    // Published comparison points used in paper Table IV.
+    static constexpr double alexnetFps = 34.0;
+    static constexpr double lenet5Fps = 2581.0;
+
+    /** Rough FPS for a network with @p macs multiply-accumulates. */
+    static double
+    estimateFps(double macs)
+    {
+        // Calibrated on the AlexNet point (~666M MACs per inference).
+        constexpr double effectiveMacsPerSec = 34.0 * 666e6;
+        return effectiveMacsPerSec / macs;
+    }
+};
+
+} // namespace coruscant
+
+#endif // CORUSCANT_BASELINES_CPU_SYSTEM_HPP

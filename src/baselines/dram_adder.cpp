@@ -1,0 +1,65 @@
+#include "baselines/dram_adder.hpp"
+
+#include "util/logging.hpp"
+
+namespace coruscant {
+
+BitSliceOperand
+BitSliceOperand::pack(const std::vector<std::uint64_t> &values,
+                      std::size_t bits, std::size_t row_width)
+{
+    fatalIf(values.size() > row_width,
+            "more values than bitline columns");
+    BitSliceOperand op;
+    op.slices.assign(bits, BitVector(row_width));
+    for (std::size_t v = 0; v < values.size(); ++v)
+        for (std::size_t b = 0; b < bits; ++b)
+            op.slices[b].set(v, (values[v] >> b) & 1);
+    return op;
+}
+
+std::uint64_t
+BitSliceOperand::unpack(std::size_t idx) const
+{
+    std::uint64_t out = 0;
+    for (std::size_t b = 0; b < slices.size(); ++b)
+        if (slices[b].get(idx))
+            out |= 1ULL << b;
+    return out;
+}
+
+std::size_t
+DramBitSliceAdder::opsPerAddition(std::size_t bits)
+{
+    // Per bit: G (and), P (xor), P & C (and), G | PC (or), S (xor);
+    // bit 0 needs no carry-in terms.
+    return 5 * bits - 3;
+}
+
+BitSliceOperand
+DramBitSliceAdder::add(const BitSliceOperand &a,
+                       const BitSliceOperand &b)
+{
+    fatalIf(a.bits() != b.bits(), "operand width mismatch");
+    fatalIf(a.bits() == 0, "empty operands");
+    std::size_t n = a.bits();
+
+    BitSliceOperand sum;
+    sum.slices.reserve(n);
+
+    // Bit 0: S_0 = A_0 ^ B_0, C_1 = A_0 & B_0.
+    BitVector carry = pim.bulk2(BulkOp::And, a.slices[0], b.slices[0]);
+    sum.slices.push_back(
+        pim.bulk2(BulkOp::Xor, a.slices[0], b.slices[0]));
+
+    for (std::size_t i = 1; i < n; ++i) {
+        BitVector g = pim.bulk2(BulkOp::And, a.slices[i], b.slices[i]);
+        BitVector p = pim.bulk2(BulkOp::Xor, a.slices[i], b.slices[i]);
+        sum.slices.push_back(pim.bulk2(BulkOp::Xor, p, carry));
+        BitVector pc = pim.bulk2(BulkOp::And, p, carry);
+        carry = pim.bulk2(BulkOp::Or, g, pc);
+    }
+    return sum;
+}
+
+} // namespace coruscant

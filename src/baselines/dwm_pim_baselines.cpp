@@ -1,0 +1,122 @@
+#include "baselines/dwm_pim_baselines.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace coruscant {
+
+// ---------------------------------------------------------------------
+// Calibration.  The designs are bit-serial; their per-bit constants are
+// pinned so the published 8-bit costs (paper Table III) come out
+// exactly:
+//
+//   DW-NN: 2-op add 54 cyc / 40 pJ; 5-op add 264 (area) / 194 (lat)
+//          cyc, 169.6 pJ; 2-op mult 163 cyc / 308 pJ.
+//     add: 6 cyc/bit + 6 setup;  energy 4.5 pJ/bit + 4
+//     5-op serial: 4 adds + 16-cycle re-stage per intermediate
+//     5-op tree: ceil(log2 5) = 3 levels + 32 cycles of muxing
+//     mult: 2.3 cyc/bit^2 + 15.8;  energy 4.5 pJ/bit^2 + 20
+//
+//   SPIM:  2-op add 49 cyc / 28 pJ; 5-op add 244 / 179 cyc, 121.6 pJ;
+//          2-op mult 149 cyc / 196 pJ.
+//     add: 5.5 cyc/bit + 5;  energy 3 pJ/bit + 4
+//     mult: 2.0 cyc/bit^2 + 21;  energy 2.8 pJ/bit^2 + 16.8
+//
+// Both share the composition overheads (16-cycle re-stage, 32-cycle
+// tree mux, 3.2 pJ per intermediate), which the published numbers
+// imply for each design independently.
+// ---------------------------------------------------------------------
+
+namespace {
+
+constexpr double restageEnergyPj = 3.2;
+
+} // namespace
+
+DwmPimBaseline
+DwmPimBaseline::dwNn()
+{
+    return DwmPimBaseline({/*addPerBit=*/6.0, /*addSetup=*/6.0,
+                           /*serialRestage=*/16.0, /*treeOverhead=*/32.0,
+                           /*mulPerBitSq=*/2.3, /*mulSetup=*/15.8,
+                           /*ePerBitAdd=*/4.5, /*eAddSetup=*/4.0,
+                           /*eMulPerBitSq=*/4.5, /*eMulSetup=*/20.0,
+                           /*areaAdd2=*/2.6, /*areaAdd5Area=*/2.6,
+                           /*areaAdd5Latency=*/5.2, /*areaMul=*/18.9});
+}
+
+DwmPimBaseline
+DwmPimBaseline::spim()
+{
+    return DwmPimBaseline({/*addPerBit=*/5.5, /*addSetup=*/5.0,
+                           /*serialRestage=*/16.0, /*treeOverhead=*/32.0,
+                           /*mulPerBitSq=*/2.0, /*mulSetup=*/21.0,
+                           /*ePerBitAdd=*/3.0, /*eAddSetup=*/4.0,
+                           /*eMulPerBitSq=*/2.8, /*eMulSetup=*/16.8,
+                           /*areaAdd2=*/2.0, /*areaAdd5Area=*/2.0,
+                           /*areaAdd5Latency=*/4.0, /*areaMul=*/16.8});
+}
+
+OpCost
+DwmPimBaseline::addCost(std::size_t bits) const
+{
+    OpCost c;
+    c.cycles = static_cast<std::uint64_t>(
+        cal.addPerBit * static_cast<double>(bits) + cal.addSetup);
+    c.energyPj = cal.ePerBitAdd * static_cast<double>(bits)
+                 + cal.eAddSetup;
+    return c;
+}
+
+OpCost
+DwmPimBaseline::addCost(std::size_t operands, std::size_t bits,
+                        ComposeMode mode) const
+{
+    fatalIf(operands == 0, "addition needs at least one operand");
+    if (operands <= 2)
+        return addCost(bits);
+    OpCost two = addCost(bits);
+    OpCost c;
+    std::size_t adds = operands - 1;
+    // Energy is the same either way: the same additions happen.
+    c.energyPj = static_cast<double>(adds) * two.energyPj +
+                 static_cast<double>(operands - 2) * restageEnergyPj;
+    if (mode == ComposeMode::AreaOptimized) {
+        c.cycles = adds * two.cycles +
+                   static_cast<std::uint64_t>(
+                       static_cast<double>(operands - 2)
+                       * cal.serialRestage);
+    } else {
+        auto depth = static_cast<std::size_t>(
+            std::ceil(std::log2(static_cast<double>(operands))));
+        c.cycles = depth * two.cycles +
+                   static_cast<std::uint64_t>(cal.treeOverhead);
+    }
+    return c;
+}
+
+OpCost
+DwmPimBaseline::multiplyCost(std::size_t bits) const
+{
+    double b2 = static_cast<double>(bits) * static_cast<double>(bits);
+    OpCost c;
+    c.cycles = static_cast<std::uint64_t>(
+        std::llround(cal.mulPerBitSq * b2 + cal.mulSetup));
+    c.energyPj = cal.eMulPerBitSq * b2 + cal.eMulSetup;
+    return c;
+}
+
+double
+DwmPimBaseline::areaUm2(std::size_t operands, bool multiply,
+                        ComposeMode mode) const
+{
+    if (multiply)
+        return cal.areaMul;
+    if (operands <= 2)
+        return cal.areaAdd2;
+    return mode == ComposeMode::AreaOptimized ? cal.areaAdd5Area
+                                              : cal.areaAdd5Latency;
+}
+
+} // namespace coruscant

@@ -1,0 +1,115 @@
+#include "baselines/pinatubo.hpp"
+
+#include "util/logging.hpp"
+
+namespace coruscant {
+
+namespace {
+
+// PCM-class cost constants (paper Sec. I and its references [13],
+// [14]): reads are DRAM-like, writes are slow and expensive.
+constexpr unsigned senseCycles = 10;   ///< multi-row activate + sense
+constexpr unsigned writeCycles = 120;  ///< PCM SET/RESET latency
+constexpr double readEnergyPjPerBit = 0.08;
+constexpr double writeEnergyPjPerBit = 29.7; ///< paper-cited worst case
+
+} // namespace
+
+PinatuboUnit::PinatuboUnit(std::size_t row_bits,
+                           std::size_t max_operands)
+    : rowBits(row_bits), maxOps(max_operands)
+{
+    fatalIf(row_bits == 0, "row width must be positive");
+    fatalIf(max_operands < 2, "Pinatubo senses at least two rows");
+}
+
+BitVector
+PinatuboUnit::senseGroup(BulkOp op, const std::vector<BitVector> &ops)
+{
+    // One activation of all group rows; the threshold position selects
+    // the operation.
+    costs.charge("sense", senseCycles,
+                 static_cast<double>(rowBits * ops.size())
+                     * readEnergyPjPerBit);
+    BitVector acc = ops[0];
+    for (std::size_t i = 1; i < ops.size(); ++i) {
+        switch (op) {
+          case BulkOp::And:
+            acc &= ops[i];
+            break;
+          case BulkOp::Or:
+            acc |= ops[i];
+            break;
+          case BulkOp::Xor:
+            // XOR needs the two-pass scheme (both thresholds).
+            acc ^= ops[i];
+            break;
+          default:
+            fatal("Pinatubo models AND/OR/XOR cores");
+        }
+    }
+    if (op == BulkOp::Xor) {
+        costs.charge("sense", senseCycles,
+                     static_cast<double>(rowBits * ops.size())
+                         * readEnergyPjPerBit);
+    }
+    return acc;
+}
+
+BitVector
+PinatuboUnit::bulk(BulkOp op, const std::vector<BitVector> &ops)
+{
+    fatalIf(ops.empty(), "bulk op needs operands");
+    for (const auto &r : ops)
+        fatalIf(r.size() != rowBits, "row width mismatch");
+
+    BulkOp core = op;
+    bool invert = false;
+    if (op == BulkOp::Nand) {
+        core = BulkOp::And;
+        invert = true;
+    } else if (op == BulkOp::Nor) {
+        core = BulkOp::Or;
+        invert = true;
+    } else if (op == BulkOp::Xnor) {
+        core = BulkOp::Xor;
+        invert = true;
+    }
+
+    // Chain groups of maxOps operands; each intermediate result is
+    // written back to the array before the next activation — this is
+    // the endurance cost CORUSCANT's paper highlights.
+    BitVector acc;
+    bool have = false;
+    std::size_t i = 0;
+    while (i < ops.size() || !have) {
+        std::vector<BitVector> group;
+        if (have)
+            group.push_back(acc);
+        while (group.size() < maxOps && i < ops.size())
+            group.push_back(ops[i++]);
+        if (group.size() == 1) {
+            acc = group[0];
+        } else {
+            acc = senseGroup(core, group);
+        }
+        have = true;
+        // Intermediate / final write-back.
+        costs.charge("write", writeCycles,
+                     static_cast<double>(rowBits)
+                         * writeEnergyPjPerBit);
+        ++wear;
+        if (i >= ops.size())
+            break;
+    }
+    if (invert) {
+        acc = ~acc;
+        costs.charge("write", writeCycles,
+                     static_cast<double>(rowBits)
+                         * writeEnergyPjPerBit);
+        ++wear;
+    }
+    return acc;
+}
+
+} // namespace coruscant

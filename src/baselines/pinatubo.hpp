@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Pinatubo (Li et al., DAC 2016): bulk bitwise PIM in resistive NVMs.
+ *
+ * Pinatubo opens two (conceptually more) rows simultaneously and moves
+ * the sense threshold: V_TH below the midpoint senses OR, above senses
+ * AND; inverted references give the complements.  The paper positions
+ * it as the closest prior multi-operand concept, but notes it was only
+ * experimentally explored for two operands and inherits PCM/ReRAM
+ * endurance and write-energy problems (up to 29.7 pJ/bit writes,
+ * ~1e8 endurance).
+ *
+ * This model is functional (exact results) with a PCM-class cost
+ * model; it also tracks per-row write wear so the endurance concern
+ * the CORUSCANT paper raises is visible in experiments.
+ */
+
+#ifndef CORUSCANT_BASELINES_PINATUBO_HPP
+#define CORUSCANT_BASELINES_PINATUBO_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pim_logic.hpp"
+#include "util/bit_vector.hpp"
+#include "util/stats.hpp"
+
+namespace coruscant {
+
+/** Pinatubo-style PIM over a PCM subarray. */
+class PinatuboUnit
+{
+  public:
+    /**
+     * @param row_bits bits per NVM row
+     * @param max_operands rows the modified SA can sense at once
+     *        (Pinatubo demonstrated 2; more is the qualitative claim)
+     */
+    explicit PinatuboUnit(std::size_t row_bits,
+                          std::size_t max_operands = 2);
+
+    /**
+     * Multi-operand bulk operation; operand groups larger than
+     * maxOperands() are chained.  Result is written back to the array
+     * (charging the PCM write energy and wear).
+     */
+    BitVector bulk(BulkOp op, const std::vector<BitVector> &ops);
+
+    std::size_t maxOperands() const { return maxOps; }
+
+    const CostLedger &ledger() const { return costs; }
+    void resetCosts() { costs.reset(); }
+
+    /** Writes absorbed by the result row so far (endurance proxy). */
+    std::uint64_t resultRowWrites() const { return wear; }
+
+    /** PCM cell endurance the paper cites (~1e8 writes). */
+    static constexpr double enduranceWrites = 1e8;
+
+  private:
+    /** One multi-row activation + threshold sense. */
+    BitVector senseGroup(BulkOp op, const std::vector<BitVector> &ops);
+
+    std::size_t rowBits;
+    std::size_t maxOps;
+    CostLedger costs;
+    std::uint64_t wear = 0;
+};
+
+} // namespace coruscant
+
+#endif // CORUSCANT_BASELINES_PINATUBO_HPP

@@ -1,0 +1,92 @@
+#include "controller/cpim_isa.hpp"
+
+#include <bit>
+
+#include "util/logging.hpp"
+
+namespace coruscant {
+
+const char *
+cpimOpName(CpimOp op)
+{
+    switch (op) {
+      case CpimOp::And: return "and";
+      case CpimOp::Nand: return "nand";
+      case CpimOp::Or: return "or";
+      case CpimOp::Nor: return "nor";
+      case CpimOp::Xor: return "xor";
+      case CpimOp::Xnor: return "xnor";
+      case CpimOp::Not: return "not";
+      case CpimOp::Add: return "add";
+      case CpimOp::Reduce: return "reduce";
+      case CpimOp::Multiply: return "mult";
+      case CpimOp::Max: return "max";
+      case CpimOp::Relu: return "relu";
+      case CpimOp::Vote: return "vote";
+      case CpimOp::Copy: return "copy";
+    }
+    return "?";
+}
+
+bool
+cpimIsBulk(CpimOp op)
+{
+    switch (op) {
+      case CpimOp::And:
+      case CpimOp::Nand:
+      case CpimOp::Or:
+      case CpimOp::Nor:
+      case CpimOp::Xor:
+      case CpimOp::Xnor:
+      case CpimOp::Not:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+CpimInstruction::validate(std::size_t trd) const
+{
+    if (blockSize == 0 || (blockSize & (blockSize - 1)) != 0 ||
+        blockSize < 8 || blockSize > 512) {
+        return "blocksize must be a power of two in [8, 512]";
+    }
+    if (operands == 0)
+        return "at least one operand required";
+    if (cpimIsBulk(op) && operands > trd)
+        return "bulk operations take at most TRD operands";
+    if (op == CpimOp::Add) {
+        std::size_t arity = trd <= 3 ? 2 : trd - 2;
+        if (operands > arity)
+            return "addition takes at most TRD-2 operands";
+    }
+    if (op == CpimOp::Vote &&
+        (operands != 3 && operands != 5 && operands != 7)) {
+        return "vote requires N in {3,5,7}";
+    }
+    return "";
+}
+
+std::uint32_t
+CpimInstruction::packControl() const
+{
+    auto log2_block = static_cast<std::uint32_t>(
+        std::countr_zero(static_cast<std::uint32_t>(blockSize)));
+    return (static_cast<std::uint32_t>(op) & 0xF) |
+           ((static_cast<std::uint32_t>(operands) & 0x7) << 4) |
+           ((log2_block & 0xF) << 7);
+}
+
+CpimInstruction
+CpimInstruction::unpackControl(std::uint32_t word)
+{
+    CpimInstruction inst;
+    inst.op = static_cast<CpimOp>(word & 0xF);
+    inst.operands = static_cast<std::uint8_t>((word >> 4) & 0x7);
+    inst.blockSize =
+        static_cast<std::uint16_t>(1u << ((word >> 7) & 0xF));
+    return inst;
+}
+
+} // namespace coruscant

@@ -1,0 +1,86 @@
+#include "controller/memory_controller.hpp"
+
+#include "util/logging.hpp"
+
+namespace coruscant {
+
+std::uint64_t
+MemoryController::operandAddress(std::uint64_t src, std::size_t i) const
+{
+    LineAddress loc = mem.addressMap().decode(src);
+    loc.row += i;
+    fatalIf(loc.row >= mem.config().device.domainsPerWire,
+            "operand rows run past the end of the DBC");
+    return mem.addressMap().encode(loc);
+}
+
+BitVector
+MemoryController::execute(const CpimInstruction &inst)
+{
+    std::string err = inst.validate(mem.config().device.trd);
+    fatalIf(!err.empty(), "cpim: ", err);
+
+    LineAddress src = mem.addressMap().decode(inst.src);
+    CoruscantUnit &unit = mem.pimUnit(src.bank, src.subarray);
+    ++executed;
+
+    // Gather operand rows (charges DWM access timing per row).
+    std::vector<BitVector> ops;
+    ops.reserve(inst.operands);
+    for (std::size_t i = 0; i < inst.operands; ++i)
+        ops.push_back(mem.readLine(operandAddress(inst.src, i)));
+
+    BitVector result;
+    switch (inst.op) {
+      case CpimOp::And:
+        result = unit.bulkBitwise(BulkOp::And, ops);
+        break;
+      case CpimOp::Nand:
+        result = unit.bulkBitwise(BulkOp::Nand, ops);
+        break;
+      case CpimOp::Or:
+        result = unit.bulkBitwise(BulkOp::Or, ops);
+        break;
+      case CpimOp::Nor:
+        result = unit.bulkBitwise(BulkOp::Nor, ops);
+        break;
+      case CpimOp::Xor:
+        result = unit.bulkBitwise(BulkOp::Xor, ops);
+        break;
+      case CpimOp::Xnor:
+        result = unit.bulkBitwise(BulkOp::Xnor, ops);
+        break;
+      case CpimOp::Not:
+        result = unit.bulkBitwise(BulkOp::Not, {ops[0]});
+        break;
+      case CpimOp::Add:
+        result = unit.add(ops, inst.blockSize);
+        break;
+      case CpimOp::Reduce: {
+        auto red = unit.reduce(ops, inst.blockSize);
+        result = red.sum; // carry rows remain resident in the DBC
+        break;
+      }
+      case CpimOp::Multiply:
+        fatalIf(ops.size() != 2, "cpim mult takes two operand rows");
+        result = unit.multiply(ops[0], ops[1], inst.blockSize / 2);
+        break;
+      case CpimOp::Max:
+        result = unit.maxOfRows(ops, inst.blockSize);
+        break;
+      case CpimOp::Relu:
+        result = unit.relu(ops[0], inst.blockSize);
+        break;
+      case CpimOp::Vote:
+        result = unit.nmrVote(ops);
+        break;
+      case CpimOp::Copy:
+        result = ops[0];
+        break;
+    }
+
+    mem.writeLine(inst.dst, result);
+    return result;
+}
+
+} // namespace coruscant

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The CORUSCANT memory controller: executes cpim instructions against
+ * the DWM main memory (paper Sec. III-E).
+ *
+ * For each cpim the controller:
+ *   1. validates the instruction against the ISA limits;
+ *   2. reads the operand rows from their home locations (operands are
+ *      consecutive rows of one DBC at the source address; the memory
+ *      charges shift-aware DWM timing for each);
+ *   3. drives the subarray's PIM unit, which charges its own staging
+ *      and compute costs; and
+ *   4. writes the result row to the destination address.
+ *
+ * Ordinary load/store traffic bypasses the PIM unit entirely (the
+ * orange path of paper Fig. 4(a)) via DwmMainMemory::read/writeLine.
+ */
+
+#ifndef CORUSCANT_CONTROLLER_MEMORY_CONTROLLER_HPP
+#define CORUSCANT_CONTROLLER_MEMORY_CONTROLLER_HPP
+
+#include <cstdint>
+
+#include "arch/dwm_memory.hpp"
+#include "controller/cpim_isa.hpp"
+
+namespace coruscant {
+
+/** Executes cpim instructions end to end. */
+class MemoryController
+{
+  public:
+    explicit MemoryController(DwmMainMemory &memory)
+        : mem(memory)
+    {}
+
+    /**
+     * Execute @p inst and return the result row.  Throws FatalError
+     * for ISA violations.
+     */
+    BitVector execute(const CpimInstruction &inst);
+
+    /** Byte address of operand row @p i for an instruction at @p src. */
+    std::uint64_t operandAddress(std::uint64_t src, std::size_t i) const;
+
+    /** Total instructions executed. */
+    std::uint64_t executedInstructions() const { return executed; }
+
+  private:
+    DwmMainMemory &mem;
+    std::uint64_t executed = 0;
+};
+
+} // namespace coruscant
+
+#endif // CORUSCANT_CONTROLLER_MEMORY_CONTROLLER_HPP

@@ -1,0 +1,222 @@
+#include "controller/pim_program.hpp"
+
+#include <unordered_map>
+
+#include "controller/memory_controller.hpp"
+#include "util/logging.hpp"
+
+namespace coruscant {
+
+PimProgram::Value
+PimProgram::addNode(Node n)
+{
+    for (Value v : n.operands)
+        fatalIf(v >= nodes.size(), "operand value out of range");
+    nodes.push_back(std::move(n));
+    return nodes.size() - 1;
+}
+
+PimProgram::Value
+PimProgram::load(std::uint64_t addr)
+{
+    Node n;
+    n.kind = Node::Kind::Load;
+    n.addr = addr;
+    return addNode(std::move(n));
+}
+
+PimProgram::Value
+PimProgram::bulkOp(BulkOp op, const std::vector<Value> &operands)
+{
+    fatalIf(operands.empty(), "bulk op needs operands");
+    Node n;
+    n.kind = Node::Kind::Bulk;
+    n.op = op;
+    n.operands = operands;
+    return addNode(std::move(n));
+}
+
+PimProgram::Value
+PimProgram::add(const std::vector<Value> &operands,
+                std::uint16_t block_size)
+{
+    fatalIf(operands.empty(), "addition needs operands");
+    Node n;
+    n.kind = Node::Kind::Add;
+    n.blockSize = block_size;
+    n.operands = operands;
+    return addNode(std::move(n));
+}
+
+PimProgram::Value
+PimProgram::multiply(Value a, Value b, std::uint16_t block_size)
+{
+    Node n;
+    n.kind = Node::Kind::Multiply;
+    n.blockSize = block_size;
+    n.operands = {a, b};
+    return addNode(std::move(n));
+}
+
+PimProgram::Value
+PimProgram::maxOf(const std::vector<Value> &candidates,
+                  std::uint16_t block_size)
+{
+    fatalIf(candidates.empty(), "max needs candidates");
+    Node n;
+    n.kind = Node::Kind::Max;
+    n.blockSize = block_size;
+    n.operands = candidates;
+    return addNode(std::move(n));
+}
+
+void
+PimProgram::store(Value v, std::uint64_t addr)
+{
+    fatalIf(v >= nodes.size(), "stored value out of range");
+    stores.push_back({v, addr});
+}
+
+namespace {
+
+/** Bump allocator over consecutive rows of consecutive scratch DBCs. */
+class ScratchAllocator
+{
+  public:
+    ScratchAllocator(const MemoryConfig &cfg, std::uint64_t base)
+        : cfg(cfg), amap(cfg), loc(amap.decode(base)), row(loc.row)
+    {}
+
+    /** Allocate @p n contiguous rows in one DBC; returns addresses. */
+    std::vector<std::uint64_t>
+    allocate(std::size_t n)
+    {
+        fatalIf(n > cfg.device.domainsPerWire,
+                "operand group larger than a DBC");
+        if (row + n > cfg.device.domainsPerWire)
+            hopDbc();
+        std::vector<std::uint64_t> out;
+        for (std::size_t i = 0; i < n; ++i) {
+            LineAddress a = loc;
+            a.row = row + i;
+            out.push_back(amap.encode(a));
+        }
+        row += n;
+        used += n;
+        return out;
+    }
+
+    std::size_t rowsUsed() const { return used; }
+
+  private:
+    void
+    hopDbc()
+    {
+        row = 0;
+        if (++loc.dbc >= cfg.dbcsPerTile) {
+            loc.dbc = 0;
+            fatalIf(++loc.tile >= cfg.tilesPerSubarray,
+                    "scratch space exhausted in the subarray");
+        }
+    }
+
+    MemoryConfig cfg;
+    AddressMap amap;
+    LineAddress loc;
+    std::size_t row;
+    std::size_t used = 0;
+};
+
+CpimOp
+bulkToCpim(BulkOp op)
+{
+    switch (op) {
+      case BulkOp::And: return CpimOp::And;
+      case BulkOp::Nand: return CpimOp::Nand;
+      case BulkOp::Or: return CpimOp::Or;
+      case BulkOp::Nor: return CpimOp::Nor;
+      case BulkOp::Xor: return CpimOp::Xor;
+      case BulkOp::Xnor: return CpimOp::Xnor;
+      case BulkOp::Not: return CpimOp::Not;
+      default:
+        fatal("no cpim encoding for ", bulkOpName(op));
+    }
+}
+
+} // namespace
+
+PimProgram::Compiled
+PimProgram::compile(const MemoryConfig &cfg,
+                    std::uint64_t scratch_base) const
+{
+    Compiled out;
+    ScratchAllocator alloc(cfg, scratch_base);
+    std::unordered_map<Value, std::uint64_t> location;
+
+    auto emitCopy = [&](std::uint64_t src, std::uint64_t dst) {
+        if (src == dst)
+            return;
+        CpimInstruction c;
+        c.op = CpimOp::Copy;
+        c.operands = 1;
+        c.src = src;
+        c.dst = dst;
+        out.instructions.push_back(c);
+        ++out.copyCount;
+    };
+
+    for (Value v = 0; v < nodes.size(); ++v) {
+        const Node &n = nodes[v];
+        if (n.kind == Node::Kind::Load) {
+            location[v] = n.addr;
+            continue;
+        }
+        // Gather operands into consecutive scratch rows.
+        std::size_t m = n.operands.size();
+        auto group = alloc.allocate(m);
+        for (std::size_t i = 0; i < m; ++i)
+            emitCopy(location.at(n.operands[i]), group[i]);
+        auto result = alloc.allocate(1);
+
+        CpimInstruction inst;
+        switch (n.kind) {
+          case Node::Kind::Bulk:
+            inst.op = bulkToCpim(n.op);
+            break;
+          case Node::Kind::Add:
+            inst.op = CpimOp::Add;
+            break;
+          case Node::Kind::Multiply:
+            inst.op = CpimOp::Multiply;
+            break;
+          case Node::Kind::Max:
+            inst.op = CpimOp::Max;
+            break;
+          case Node::Kind::Load:
+            panic("unreachable");
+        }
+        inst.operands = static_cast<std::uint8_t>(m);
+        inst.blockSize = n.blockSize;
+        inst.src = group[0];
+        inst.dst = result[0];
+        std::string err = inst.validate(cfg.device.trd);
+        fatalIf(!err.empty(), "node ", v, ": ", err);
+        out.instructions.push_back(inst);
+        location[v] = result[0];
+    }
+
+    for (const auto &s : stores)
+        emitCopy(location.at(s.value), s.addr);
+    out.scratchRowsUsed = alloc.rowsUsed();
+    return out;
+}
+
+std::size_t
+PimProgramRunner::run(const PimProgram::Compiled &program)
+{
+    for (const auto &inst : program.instructions)
+        ctrl.execute(inst);
+    return program.instructions.size();
+}
+
+} // namespace coruscant

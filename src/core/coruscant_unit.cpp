@@ -1,0 +1,221 @@
+/**
+ * @file
+ * CoruscantUnit construction, charged primitives, and bulk-bitwise ops.
+ */
+
+#include "core/coruscant_unit.hpp"
+
+#include "util/logging.hpp"
+
+namespace coruscant {
+
+CoruscantUnit::CoruscantUnit(const DeviceParams &params,
+                             double fault_probability, std::uint64_t seed)
+    : dev(params), dbc(params), faults(fault_probability, seed)
+{
+    dev.validate();
+}
+
+void
+CoruscantUnit::loadRow(std::size_t row, const BitVector &value)
+{
+    dbc.pokeRow(row, value);
+}
+
+BitVector
+CoruscantUnit::peekRow(std::size_t row) const
+{
+    return dbc.peekRow(row);
+}
+
+std::size_t
+CoruscantUnit::resolveActive(std::size_t active_wires) const
+{
+    if (active_wires == 0)
+        return dev.wiresPerDbc;
+    fatalIf(active_wires > dev.wiresPerDbc, "active wires ", active_wires,
+            " exceed DBC width ", dev.wiresPerDbc);
+    return active_wires;
+}
+
+// ---------------------------------------------------------------------
+// Charged device primitives
+// ---------------------------------------------------------------------
+
+std::size_t
+CoruscantUnit::chargedAlignWindow(std::size_t start_row,
+                                  std::size_t active_wires)
+{
+    std::size_t shifts = dbc.alignWindowStart(start_row);
+    if (shifts > 0)
+        chargeShifts(shifts, active_wires);
+    return shifts;
+}
+
+void
+CoruscantUnit::chargeTrAll(std::size_t active_wires)
+{
+    costs.charge("tr", dev.trCycles,
+                 static_cast<double>(active_wires)
+                     * (dev.trEnergyPj(dev.trd) + dev.pimLogicEnergyPj));
+}
+
+void
+CoruscantUnit::chargeTrLanes(std::size_t lanes)
+{
+    costs.charge("tr", dev.trCycles,
+                 static_cast<double>(lanes)
+                     * (dev.trEnergyPj(dev.trd) + dev.pimLogicEnergyPj));
+}
+
+void
+CoruscantUnit::chargeRowWrite(std::size_t active_wires)
+{
+    costs.charge("write", dev.writeCycles,
+                 static_cast<double>(active_wires) * dev.writeEnergyPj);
+}
+
+void
+CoruscantUnit::chargeRowRead(std::size_t active_wires)
+{
+    costs.charge("read", dev.readCycles,
+                 static_cast<double>(active_wires) * dev.readEnergyPj);
+}
+
+void
+CoruscantUnit::chargeBitWrites(std::size_t bits)
+{
+    costs.charge("write", dev.writeCycles,
+                 static_cast<double>(bits) * dev.writeEnergyPj);
+}
+
+void
+CoruscantUnit::chargeShifts(std::size_t steps, std::size_t active_wires)
+{
+    if (steps == 0)
+        return;
+    costs.charge("shift", steps * dev.shiftCycles,
+                 static_cast<double>(steps)
+                     * static_cast<double>(active_wires)
+                     * dev.shiftEnergyPj);
+}
+
+void
+CoruscantUnit::chargeTwRow(std::size_t active_wires)
+{
+    costs.charge("tw", dev.twCycles,
+                 static_cast<double>(active_wires) * dev.twEnergyPj);
+}
+
+// ---------------------------------------------------------------------
+// Window staging
+// ---------------------------------------------------------------------
+
+std::size_t
+CoruscantUnit::stageWindow(const std::vector<BitVector> &interior_rows,
+                           bool pad_ones, std::size_t /*active_wires*/,
+                           std::size_t interior_offset)
+{
+    // Functional placement of operand rows into the TR window.  The
+    // cycle/energy cost of staging is charged by the calling operation
+    // (it depends on the choreography); padding rows are the preset
+    // constants of paper Fig. 7 and cost nothing to "write".
+    std::size_t ws = dbc.rowAtPort(Port::Left);
+    panicIf(ws + dev.trd > dev.domainsPerWire,
+            "TR window extends past the data rows");
+    BitVector pad(dev.wiresPerDbc, pad_ones);
+    for (std::size_t r = 0; r < dev.trd; ++r)
+        dbc.pokeRow(ws + r, pad);
+    for (std::size_t i = 0; i < interior_rows.size(); ++i) {
+        fatalIf(interior_rows[i].size() != dev.wiresPerDbc,
+                "operand row width mismatch");
+        dbc.pokeRow(ws + interior_offset + i, interior_rows[i]);
+    }
+    return ws;
+}
+
+std::vector<std::uint16_t>
+CoruscantUnit::segmentedPopcount()
+{
+    std::size_t act = dev.wiresPerDbc;
+    auto window = dbc.transverseReadAll(&faults);
+    chargeTrAll(act);
+    auto left = dbc.transverseReadOutsideAll(Port::Left);
+    auto right = dbc.transverseReadOutsideAll(Port::Right);
+    // Both outer segments share one TR cycle (disjoint current paths;
+    // paper Fig. 3's simultaneous red arrows).  Energy scales with the
+    // longer segment.
+    std::size_t longest = std::max(dev.leftOverhead()
+                                       + dev.leftPortRow(),
+                                   dev.totalDomains()
+                                       - dev.leftOverhead()
+                                       - dev.rightPortRow() - 1);
+    costs.charge("tr", dev.trCycles,
+                 static_cast<double>(act)
+                     * (dev.trEnergyPj(longest)
+                        + dev.pimLogicEnergyPj));
+    std::vector<std::uint16_t> totals(act, 0);
+    for (std::size_t w = 0; w < act; ++w) {
+        totals[w] = static_cast<std::uint16_t>(
+            left[w] + window[w] + right[w]);
+    }
+    return totals;
+}
+
+// ---------------------------------------------------------------------
+// Bulk-bitwise operations
+// ---------------------------------------------------------------------
+
+BitVector
+CoruscantUnit::bulkBitwise(BulkOp op, const std::vector<BitVector> &operands,
+                           std::size_t active_wires, bool write_back,
+                           bool use_tw)
+{
+    std::size_t act = resolveActive(active_wires);
+    std::size_t m = operands.size();
+    fatalIf(m == 0, "bulk op needs at least one operand");
+    fatalIf(m > dev.trd, "bulk op limited to TRD = ", dev.trd,
+            " operands, got ", m);
+    fatalIf(op == BulkOp::Not && m != 1, "NOT takes exactly one operand");
+    fatalIf(op == BulkOp::Maj && m != dev.trd,
+            "MAJ is the full-window majority; use nmrVote for voting");
+
+    // Padding identity: '1' rows for AND/NAND, '0' rows otherwise
+    // (paper Fig. 7(a)/(b)).
+    bool pad_ones = (op == BulkOp::And || op == BulkOp::Nand);
+    stageWindow(operands, pad_ones, act, 0);
+
+    // Staging cost: each operand is written at an access port and
+    // shifted into place; padding rows are preset.  With transverse
+    // writes the segment shift is fused with the write, halving the
+    // staging cycles (paper Sec. IV-B).
+    for (std::size_t i = 0; i < m; ++i) {
+        if (use_tw) {
+            chargeTwRow(act);
+        } else {
+            chargeRowWrite(act);
+            chargeShifts(1, act);
+        }
+    }
+
+    // One transverse read evaluates every wire; the PIM block (or the
+    // orange direct path, for OR) selects the output.
+    auto counts = dbc.transverseReadAll(&faults);
+    chargeTrAll(act);
+
+    BitVector result(dev.wiresPerDbc);
+    for (std::size_t w = 0; w < dev.wiresPerDbc; ++w) {
+        // The effective window for AND is the operand count plus the
+        // '1' padding, i.e. all TRD domains must read '1'.
+        PimOutputs out = evalPimLogic(counts[w], dev.trd);
+        result.set(w, selectBulkOp(op, out));
+    }
+
+    if (write_back) {
+        dbc.writeRowAtPort(Port::Left, result);
+        chargeRowWrite(act);
+    }
+    return result;
+}
+
+} // namespace coruscant

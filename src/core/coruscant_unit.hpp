@@ -1,0 +1,301 @@
+/**
+ * @file
+ * CoruscantUnit: one PIM-enabled domain-block cluster.
+ *
+ * This is the paper's core contribution (Section III): a DBC whose two
+ * access ports are spaced at the transverse-read distance, a
+ * seven-level sense amplifier per nanowire, and the PIM block of
+ * Fig. 4(b).  The unit executes:
+ *
+ *   - multi-operand bulk-bitwise logic (Sec. III-B): one TR evaluates
+ *     up to TRD operand rows at once;
+ *   - multi-operand addition (Sec. III-C): a sequential carry chain
+ *     across nanowires, S/C/C' written through the inter-wire
+ *     connections, all blocksize-lanes advancing in parallel;
+ *   - 7->3 carry-save reduction and three multiplication strategies
+ *     (Sec. III-D): constant (CSD/Booth), arbitrary (partial-product
+ *     groups), and optimized (CSA reduction, O(n));
+ *   - the max function with transverse-write segmented shifting
+ *     (Sec. IV-B) and ReLU (Sec. IV-C);
+ *   - N-modular-redundancy majority voting (Sec. III-F).
+ *
+ * Every operation manipulates real bits in the underlying
+ * DomainBlockCluster (so results are checkable against golden
+ * arithmetic) and charges cycles/energy for each device primitive to a
+ * CostLedger, using the per-primitive constants in DeviceParams.
+ *
+ * Data layout: a DBC row is an X-bit bit-slice across the nanowires.
+ * Arithmetic interprets rows as packed lanes of `blockSize` bits; an
+ * operand word's bit k lives in wire (lane*blockSize + k), exactly as
+ * in paper Fig. 6 where bit_0 of all operands is evaluated by a TR of
+ * dwm_0.
+ */
+
+#ifndef CORUSCANT_CORE_CORUSCANT_UNIT_HPP
+#define CORUSCANT_CORE_CORUSCANT_UNIT_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/pim_logic.hpp"
+#include "dwm/dbc.hpp"
+#include "dwm/device_params.hpp"
+#include "dwm/fault_model.hpp"
+#include "util/bit_vector.hpp"
+#include "util/stats.hpp"
+
+namespace coruscant {
+
+/** Multiplication strategies of paper Section III-D. */
+enum class MulStrategy
+{
+    Arbitrary,    ///< partial products summed in adder-arity groups
+    OptimizedCsa, ///< 7->3 reductions, then one final addition
+};
+
+/** Result of a 7->3 (or 3->2) operand reduction. */
+struct CsaRows
+{
+    BitVector sum;        ///< weight-1 row (S)
+    BitVector carry;      ///< weight-2 row, already shifted one wire
+    BitVector superCarry; ///< weight-4 row, already shifted two wires
+    bool hasSuperCarry = true; ///< false for TRD = 3 (3->2 reduction)
+};
+
+/** A PIM-enabled DBC executing CORUSCANT operations. */
+class CoruscantUnit
+{
+  public:
+    /**
+     * @param params device configuration (TRD, geometry, energies)
+     * @param fault_probability per-TR +/-1 level fault rate (0 = off)
+     * @param seed fault-injection RNG seed
+     */
+    explicit CoruscantUnit(const DeviceParams &params,
+                           double fault_probability = 0.0,
+                           std::uint64_t seed = 1);
+
+    const DeviceParams &params() const { return dev; }
+
+    /** Bits per row. */
+    std::size_t width() const { return dev.wiresPerDbc; }
+
+    /** Data rows. */
+    std::size_t rows() const { return dev.domainsPerWire; }
+
+    /** Cost accounting for all operations since the last reset. */
+    const CostLedger &ledger() const { return costs; }
+    CostLedger &ledger() { return costs; }
+    void resetCosts() { costs.reset(); }
+
+    /** Faults injected into TRs so far. */
+    std::uint64_t injectedFaults() const { return faults.injectedFaults(); }
+
+    // ------------------------------------------------------------------
+    // Backdoor data staging (tests and data load; charges nothing)
+    // ------------------------------------------------------------------
+    void loadRow(std::size_t row, const BitVector &value);
+    BitVector peekRow(std::size_t row) const;
+
+    // ------------------------------------------------------------------
+    // Bulk-bitwise operations (Sec. III-B)
+    // ------------------------------------------------------------------
+
+    /**
+     * Multi-operand bulk-bitwise operation over up to TRD operand rows.
+     *
+     * Operands are staged into the TR window (unused slots padded with
+     * the operation's identity value as in paper Fig. 7), one TR
+     * evaluates all wires, and the PIM block selects the result.
+     *
+     * @param op the logic operation
+     * @param operands 1..TRD rows of width() bits
+     * @param active_wires wires carrying data (energy attribution);
+     *        defaults to the full row
+     * @param write_back also write the result row back at the left port
+     * @param use_tw stage operands with transverse writes, fusing each
+     *        operand write with its alignment shift (paper Sec. IV-B:
+     *        "TW can also reduce the cycles required for padding
+     *        operations where the number of operands < TRD")
+     * @return the result row
+     */
+    BitVector bulkBitwise(BulkOp op, const std::vector<BitVector> &operands,
+                          std::size_t active_wires = 0,
+                          bool write_back = false, bool use_tw = false);
+
+    /**
+     * Per-wire ones count over the whole DBC using segmented
+     * transverse reads (paper Fig. 3): one TR covers the window, a
+     * second TR covers both outer segments in parallel (disjoint
+     * current paths).  Two TR cycles regardless of Y.
+     */
+    std::vector<std::uint16_t> segmentedPopcount();
+
+    // ------------------------------------------------------------------
+    // Multi-operand addition (Sec. III-C)
+    // ------------------------------------------------------------------
+
+    /**
+     * Add up to maxAddOperands() operand rows, treating each row as
+     * packed `block_size`-bit lanes.  Lane sums are modulo
+     * 2^block_size (carries are masked at lane boundaries, as the
+     * memory controller masks bitlines per the cpim blocksize).
+     *
+     * Cost model: staging writes one interior slot per cycle pair
+     * (write + shift), then each bit position costs one TR plus one
+     * parallel S/C/C' write — the paper's 10 + 16 = 26 cycles for the
+     * 8-bit five-operand case.
+     *
+     * @return the result row (sums in each lane)
+     */
+    BitVector add(const std::vector<BitVector> &operands,
+                  std::size_t block_size, std::size_t active_wires = 0);
+
+    // ------------------------------------------------------------------
+    // Carry-save reduction and multiplication (Sec. III-D)
+    // ------------------------------------------------------------------
+
+    /**
+     * Reduce up to TRD operand rows to 3 (TRD >= 5) or 2 (TRD = 3)
+     * rows of equal total sum, in O(1) time (paper: 4 cycles).
+     * Carries crossing a lane boundary are masked.
+     */
+    CsaRows reduce(const std::vector<BitVector> &rows,
+                   std::size_t block_size, std::size_t active_wires = 0);
+
+    /**
+     * Sum an arbitrary number of operand rows (large-cardinality
+     * addition, paper Sec. III-D.3): rows are collapsed with 7->3
+     * (or 3->2) carry-save reductions until at most the adder arity
+     * remains, then one multi-operand addition finishes — O(n) in the
+     * row count, vs. the O(n log n) chains of grouped additions.
+     */
+    BitVector reduceAndSum(std::vector<BitVector> rows,
+                           std::size_t block_size,
+                           std::size_t active_wires = 0);
+
+    /**
+     * Multiply packed lanes: each lane holds an `operand_bits`-bit
+     * value of A (low bits) in a lane of width 2*operand_bits; the
+     * product fills the lane.
+     *
+     * @param a_row multiplicand lanes
+     * @param b_row multiplier lanes (same packing)
+     * @param operand_bits n; lanes are 2n wide
+     * @param strategy partial-product summation strategy
+     */
+    BitVector multiply(const BitVector &a_row, const BitVector &b_row,
+                       std::size_t operand_bits,
+                       MulStrategy strategy = MulStrategy::OptimizedCsa,
+                       std::size_t active_wires = 0);
+
+    /**
+     * Multiply packed lanes by a compile-time constant using CSD
+     * (Booth) recoding (paper Sec. III-D.1).  Negative digits are
+     * realized as one's complement plus a correction row.
+     */
+    BitVector multiplyByConstant(const BitVector &a_row,
+                                 std::uint64_t constant,
+                                 std::size_t operand_bits,
+                                 std::size_t active_wires = 0);
+
+    // ------------------------------------------------------------------
+    // Max / ReLU (Sec. IV-B, IV-C)
+    // ------------------------------------------------------------------
+
+    /**
+     * Lane-wise maximum of up to TRD candidate rows, MSB-to-LSB with
+     * predicated elimination.
+     *
+     * @param candidates 1..TRD rows of packed `word_bits` lanes
+     * @param use_tw rotate candidates with transverse writes
+     *        (paper's segmented shifting) instead of full-DBC shifts
+     */
+    BitVector maxOfRows(const std::vector<BitVector> &candidates,
+                        std::size_t word_bits,
+                        std::size_t active_wires = 0, bool use_tw = true);
+
+    /**
+     * Lane-wise ReLU on two's-complement lanes: lanes with the sign
+     * bit set are zeroed by a predicated row refresh.
+     */
+    BitVector relu(const BitVector &row, std::size_t block_size,
+                   std::size_t active_wires = 0);
+
+    // ------------------------------------------------------------------
+    // N-modular redundancy (Sec. III-F)
+    // ------------------------------------------------------------------
+
+    /**
+     * Majority vote over N = 3, 5, or 7 replica rows using the C'
+     * (>= 4 of 7) circuit with the padding configuration of paper
+     * Fig. 7 (TRD = 7) or the thermometer threshold for smaller TRD.
+     */
+    BitVector nmrVote(const std::vector<BitVector> &replicas,
+                      std::size_t active_wires = 0);
+
+    /**
+     * Multi-operand addition with per-step voting (paper Sec. III-F):
+     * at every bit position the transverse read is performed N times
+     * and each of S / C / C' is majority-voted before being written,
+     * so single-TR faults cannot propagate down the carry chain.
+     * Costs N TRs plus one voting cycle per bit position instead of
+     * one TR — the reliability end of the paper's trade-off (vs.
+     * repeating the whole addition and voting once at the end).
+     */
+    BitVector addStepVoted(const std::vector<BitVector> &operands,
+                           std::size_t block_size, std::size_t n,
+                           std::size_t active_wires = 0);
+
+    /**
+     * Execute @p op N times and vote.  Models the paper's
+     * reliability/performance trade-off: the full operation is
+     * repeated and the vote appended.
+     */
+    template <typename Op>
+    BitVector
+    nmrExecute(std::size_t n, Op op)
+    {
+        std::vector<BitVector> replicas;
+        replicas.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            replicas.push_back(op());
+        return nmrVote(replicas);
+    }
+
+  private:
+    friend class CoruscantUnitTestPeer;
+
+    // Charged device primitives (implementation helpers).
+    std::size_t chargedAlignWindow(std::size_t start_row,
+                                   std::size_t active_wires);
+    void chargeTrAll(std::size_t active_wires);
+    void chargeTrLanes(std::size_t lanes);
+    void chargeRowWrite(std::size_t active_wires);
+    void chargeRowRead(std::size_t active_wires);
+    void chargeBitWrites(std::size_t bits);
+    void chargeShifts(std::size_t steps, std::size_t active_wires);
+    void chargeTwRow(std::size_t active_wires);
+    void chargeCopy(std::size_t active_wires);
+
+    /** Stage operand rows into the TR window; returns window start. */
+    std::size_t stageWindow(const std::vector<BitVector> &interior_rows,
+                            bool pad_ones, std::size_t active_wires,
+                            std::size_t interior_offset);
+
+    std::size_t resolveActive(std::size_t active_wires) const;
+
+    /** Sum a list of operand rows with grouped additions. */
+    BitVector addMany(std::vector<BitVector> rows, std::size_t block_size,
+                      std::size_t active_wires);
+
+    DeviceParams dev;
+    DomainBlockCluster dbc;
+    TrFaultModel faults;
+    CostLedger costs;
+};
+
+} // namespace coruscant
+
+#endif // CORUSCANT_CORE_CORUSCANT_UNIT_HPP

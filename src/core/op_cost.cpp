@@ -1,0 +1,79 @@
+#include "core/op_cost.hpp"
+
+namespace coruscant {
+
+namespace {
+
+DeviceParams
+paramsFor(std::size_t trd, std::size_t wires)
+{
+    DeviceParams p = DeviceParams::withTrd(trd);
+    p.wiresPerDbc = wires;
+    return p;
+}
+
+OpCost
+fromLedger(const CostLedger &l)
+{
+    return {l.cycles(), l.energyPj()};
+}
+
+} // namespace
+
+OpCost
+CoruscantCostModel::add(std::size_t operands, std::size_t bits) const
+{
+    CoruscantUnit unit(paramsFor(trd_, bits));
+    std::vector<BitVector> ops(operands, BitVector(bits, true));
+    unit.add(ops, bits, bits);
+    return fromLedger(unit.ledger());
+}
+
+OpCost
+CoruscantCostModel::multiply(std::size_t bits, MulStrategy strategy) const
+{
+    CoruscantUnit unit(paramsFor(trd_, 2 * bits));
+    BitVector a = BitVector::fromUint64(2 * bits, (1ULL << bits) - 1);
+    BitVector b = a;
+    unit.multiply(a, b, bits, strategy, 2 * bits);
+    return fromLedger(unit.ledger());
+}
+
+OpCost
+CoruscantCostModel::bulkBitwise(std::size_t operands) const
+{
+    CoruscantUnit unit(paramsFor(trd_, 512));
+    std::vector<BitVector> ops(operands, BitVector(512, true));
+    unit.bulkBitwise(BulkOp::And, ops);
+    return fromLedger(unit.ledger());
+}
+
+OpCost
+CoruscantCostModel::reduce() const
+{
+    CoruscantUnit unit(paramsFor(trd_, 512));
+    std::vector<BitVector> rows(trd_, BitVector(512, true));
+    unit.reduce(rows, 512);
+    return fromLedger(unit.ledger());
+}
+
+OpCost
+CoruscantCostModel::max(std::size_t candidates, std::size_t bits,
+                        bool use_tw) const
+{
+    CoruscantUnit unit(paramsFor(trd_, bits));
+    std::vector<BitVector> cands(candidates, BitVector(bits, true));
+    unit.maxOfRows(cands, bits, bits, use_tw);
+    return fromLedger(unit.ledger());
+}
+
+OpCost
+CoruscantCostModel::nmrVote(std::size_t n) const
+{
+    CoruscantUnit unit(paramsFor(trd_, 512));
+    std::vector<BitVector> replicas(n, BitVector(512, true));
+    unit.nmrVote(replicas);
+    return fromLedger(unit.ledger());
+}
+
+} // namespace coruscant

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Operation-level cost summaries for CORUSCANT.
+ *
+ * System-level models (Polybench, bitmap indices, CNNs) need the
+ * latency/energy of whole PIM operations as numbers.  Rather than
+ * duplicating formulas, this model *measures* them by running the
+ * functional simulator on a representative microbenchmark and reading
+ * its ledger — a single source of truth with the unit tests that pin
+ * the paper's published composites.
+ */
+
+#ifndef CORUSCANT_CORE_OP_COST_HPP
+#define CORUSCANT_CORE_OP_COST_HPP
+
+#include <cstdint>
+
+#include "core/coruscant_unit.hpp"
+
+namespace coruscant {
+
+/** Latency and energy of one operation instance. */
+struct OpCost
+{
+    std::uint64_t cycles = 0;
+    double energyPj = 0.0;
+};
+
+/** Measured CORUSCANT operation costs for a given TRD. */
+class CoruscantCostModel
+{
+  public:
+    explicit CoruscantCostModel(std::size_t trd)
+        : trd_(trd)
+    {}
+
+    std::size_t trd() const { return trd_; }
+
+    /** m-operand addition of `bits`-bit words (one lane). */
+    OpCost add(std::size_t operands, std::size_t bits) const;
+
+    /** Two-operand multiply of `bits`-bit words (one 2n-wide lane). */
+    OpCost multiply(std::size_t bits,
+                    MulStrategy strategy = MulStrategy::OptimizedCsa) const;
+
+    /** m-operand bulk-bitwise op over a full 512-bit row. */
+    OpCost bulkBitwise(std::size_t operands) const;
+
+    /** One 7->3 (or 3->2) reduction over a full row. */
+    OpCost reduce() const;
+
+    /** Max of m `bits`-bit candidates (one lane). */
+    OpCost max(std::size_t candidates, std::size_t bits,
+               bool use_tw = true) const;
+
+    /** N-modular redundancy vote over a full row. */
+    OpCost nmrVote(std::size_t n) const;
+
+    /** Adder arity for this TRD. */
+    std::size_t
+    maxAddOperands() const
+    {
+        return DeviceParams::withTrd(trd_).maxAddOperands();
+    }
+
+  private:
+    std::size_t trd_;
+};
+
+} // namespace coruscant
+
+#endif // CORUSCANT_CORE_OP_COST_HPP

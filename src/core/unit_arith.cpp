@@ -1,0 +1,277 @@
+/**
+ * @file
+ * CoruscantUnit multi-operand addition and 7->3 reduction.
+ *
+ * Addition (paper Sec. III-C, Fig. 6): operand words lie across
+ * nanowires (bit k in wire lane*B + k).  The carry chain walks bit
+ * positions; at step k a TR evaluates C'(k-2), the operand bits, and
+ * C(k-1); the PIM block emits S into the left-port row of wire k, C
+ * into the right-port row of wire k+1, and C' into the left-port row
+ * of wire k+2.  All blocksize lanes advance in the same step, so the
+ * loop costs 2 cycles per bit position regardless of how many words
+ * are packed in the row.
+ *
+ * Layouts:
+ *  - TRD >= 5: operands occupy the TRD-2 interior window rows (zero
+ *    padded), C' and S share the left-port row, C the right-port row.
+ *    Staging costs (TRD-2) write+shift pairs: the paper's 10-cycle
+ *    setup for TRD = 7.
+ *  - TRD = 3: two operands at the left-port and interior rows, the
+ *    carry rides the right-port row, no super carry (counts <= 3).
+ *    Staging is write/shift/write: the paper's 19-cycle 8-bit total.
+ */
+
+#include <algorithm>
+
+#include "core/coruscant_unit.hpp"
+#include "util/logging.hpp"
+
+namespace coruscant {
+
+BitVector
+CoruscantUnit::add(const std::vector<BitVector> &operands,
+                   std::size_t block_size, std::size_t active_wires)
+{
+    std::size_t act = resolveActive(active_wires);
+    std::size_t m = operands.size();
+    fatalIf(m == 0, "addition needs at least one operand");
+    fatalIf(m > dev.maxAddOperands(), "TRD = ", dev.trd, " supports ",
+            dev.maxAddOperands(), "-operand addition, got ", m);
+    fatalIf(block_size == 0, "block size must be positive");
+    fatalIf(act % block_size != 0,
+            "active wires must be a whole number of lanes");
+
+    const bool compact = dev.trd < 5; // no super carry possible/needed
+    const std::size_t interior_off = compact ? 0 : 1;
+    std::size_t ws = stageWindow(operands, false, act, interior_off);
+
+    // Staging cost (see file header).
+    if (compact) {
+        for (std::size_t i = 0; i < m; ++i) {
+            chargeRowWrite(act);
+            if (i + 1 < m)
+                chargeShifts(1, act);
+        }
+    } else {
+        for (std::size_t i = 0; i < dev.trd - 2; ++i) {
+            chargeRowWrite(act);
+            chargeShifts(1, act);
+        }
+    }
+
+    const std::size_t s_row = ws; // S always lands in the left-port row
+    const std::size_t c_row = ws + dev.trd - 1;
+    const bool has_super = !compact;
+    const std::size_t lanes = act / block_size;
+
+    for (std::size_t k = 0; k < block_size; ++k) {
+        std::size_t bits_written = 0;
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+            std::size_t w = lane * block_size + k;
+            std::size_t t = dbc.transverseReadWire(w, &faults);
+            PimOutputs out = evalPimLogic(t, dev.trd);
+            dbc.pokeBit(s_row, w, out.sum);
+            ++bits_written;
+            if (k + 1 < block_size) {
+                dbc.pokeBit(c_row, w + 1, out.carry);
+                ++bits_written;
+            }
+            if (has_super && k + 2 < block_size) {
+                dbc.pokeBit(s_row, w + 2, out.superCarry);
+                ++bits_written;
+            }
+        }
+        chargeTrLanes(lanes);
+        chargeBitWrites(bits_written);
+    }
+
+    return dbc.peekRow(s_row);
+}
+
+CsaRows
+CoruscantUnit::reduce(const std::vector<BitVector> &rows,
+                      std::size_t block_size, std::size_t active_wires)
+{
+    std::size_t act = resolveActive(active_wires);
+    std::size_t m = rows.size();
+    const bool has_super = dev.trd >= 5;
+    // Without the super-carry output (TRD < 5) the per-wire count must
+    // stay below 4 or the weight-4 bit would be lost: 3->2 reduction.
+    std::size_t max_rows = has_super ? dev.trd : 3;
+    fatalIf(m == 0, "reduction needs at least one row");
+    fatalIf(m > max_rows, "TRD = ", dev.trd, " reduces at most ",
+            max_rows, " rows, got ", m);
+    fatalIf(block_size == 0, "block size must be positive");
+    std::size_t ws = stageWindow(rows, false, act, 0);
+
+    auto counts = dbc.transverseReadAll(&faults);
+    chargeTrAll(act);
+
+    CsaRows out;
+    out.sum = BitVector(dev.wiresPerDbc);
+    out.carry = BitVector(dev.wiresPerDbc);
+    out.superCarry = BitVector(dev.wiresPerDbc);
+    out.hasSuperCarry = has_super;
+
+    for (std::size_t w = 0; w < dev.wiresPerDbc; ++w) {
+        PimOutputs o = evalPimLogic(counts[w], dev.trd);
+        out.sum.set(w, o.sum);
+        // Weight-2 carry lands one wire up, weight-4 two wires up;
+        // carries may not cross a lane boundary (the controller masks
+        // bitlines at the cpim blocksize).
+        if (o.carry && w + 1 < dev.wiresPerDbc &&
+            (w + 1) / block_size == w / block_size) {
+            out.carry.set(w + 1, true);
+        }
+        if (has_super && o.superCarry && w + 2 < dev.wiresPerDbc &&
+            (w + 2) / block_size == w / block_size) {
+            out.superCarry.set(w + 2, true);
+        }
+    }
+
+    // Write-back phases: S at the left port, C at the right port, C'
+    // after a one-domain shift (paper: 4 cycles total per reduction).
+    dbc.pokeRow(ws, out.sum);
+    chargeRowWrite(act);
+    dbc.pokeRow(ws + dev.trd - 1, out.carry);
+    chargeRowWrite(act);
+    if (has_super) {
+        dbc.pokeRow(ws + 1, out.superCarry);
+        chargeRowWrite(act);
+    }
+    return out;
+}
+
+BitVector
+CoruscantUnit::reduceAndSum(std::vector<BitVector> rows,
+                            std::size_t block_size,
+                            std::size_t active_wires)
+{
+    std::size_t act = resolveActive(active_wires);
+    fatalIf(rows.empty(), "reduceAndSum needs at least one row");
+    // Below TRD = 5 the reduction has no super carry: 3->2 only.
+    const std::size_t max_batch = dev.trd >= 5 ? dev.trd : 3;
+    std::size_t round = 0;
+    while (rows.size() > dev.maxAddOperands()) {
+        std::size_t batch = std::min(max_batch, rows.size());
+        // Re-align the window, and gather rows that are neither a
+        // freshly laid contiguous run (round 0) nor outputs of the
+        // previous reduction.
+        chargeShifts(1, act);
+        std::size_t outputs_in_window =
+            round == 0 ? max_batch : (dev.trd >= 5 ? 3 : 2);
+        if (batch > outputs_in_window) {
+            for (std::size_t g = outputs_in_window; g < batch; ++g) {
+                chargeCopy(act);
+                chargeShifts(1, act);
+            }
+        }
+        std::vector<BitVector> group(rows.begin(),
+                                     rows.begin() + batch);
+        rows.erase(rows.begin(), rows.begin() + batch);
+        CsaRows red = reduce(group, block_size, act);
+        rows.push_back(red.sum);
+        rows.push_back(red.carry);
+        if (red.hasSuperCarry)
+            rows.push_back(red.superCarry);
+        ++round;
+    }
+    return addMany(std::move(rows), block_size, act);
+}
+
+BitVector
+CoruscantUnit::addStepVoted(const std::vector<BitVector> &operands,
+                            std::size_t block_size, std::size_t n,
+                            std::size_t active_wires)
+{
+    std::size_t act = resolveActive(active_wires);
+    std::size_t m = operands.size();
+    fatalIf(n != 3 && n != 5 && n != 7,
+            "per-step voting supports N in {3, 5, 7}");
+    fatalIf(m == 0 || m > dev.maxAddOperands(),
+            "operand count out of range for TRD = ", dev.trd);
+    fatalIf(block_size == 0 || act % block_size != 0,
+            "active wires must be a whole number of lanes");
+
+    const bool compact = dev.trd < 5;
+    const std::size_t interior_off = compact ? 0 : 1;
+    std::size_t ws = stageWindow(operands, false, act, interior_off);
+    if (compact) {
+        for (std::size_t i = 0; i < m; ++i) {
+            chargeRowWrite(act);
+            if (i + 1 < m)
+                chargeShifts(1, act);
+        }
+    } else {
+        for (std::size_t i = 0; i < dev.trd - 2; ++i) {
+            chargeRowWrite(act);
+            chargeShifts(1, act);
+        }
+    }
+
+    const std::size_t s_row = ws;
+    const std::size_t c_row = ws + dev.trd - 1;
+    const bool has_super = !compact;
+    const std::size_t lanes = act / block_size;
+
+    for (std::size_t k = 0; k < block_size; ++k) {
+        std::size_t bits_written = 0;
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+            std::size_t w = lane * block_size + k;
+            // N independent TR samples; majority per output bit.
+            std::size_t s_votes = 0, c_votes = 0, sc_votes = 0;
+            for (std::size_t r = 0; r < n; ++r) {
+                std::size_t t = dbc.transverseReadWire(w, &faults);
+                PimOutputs o = evalPimLogic(t, dev.trd);
+                s_votes += o.sum ? 1 : 0;
+                c_votes += o.carry ? 1 : 0;
+                sc_votes += o.superCarry ? 1 : 0;
+            }
+            std::size_t maj = (n + 1) / 2;
+            dbc.pokeBit(s_row, w, s_votes >= maj);
+            ++bits_written;
+            if (k + 1 < block_size) {
+                dbc.pokeBit(c_row, w + 1, c_votes >= maj);
+                ++bits_written;
+            }
+            if (has_super && k + 2 < block_size) {
+                dbc.pokeBit(s_row, w + 2, sc_votes >= maj);
+                ++bits_written;
+            }
+        }
+        for (std::size_t r = 0; r < n; ++r)
+            chargeTrLanes(lanes);
+        // One voting-logic cycle plus the parallel write.
+        costs.charge("vote", 1, static_cast<double>(lanes)
+                                    * dev.pimLogicEnergyPj);
+        chargeBitWrites(bits_written);
+    }
+    return dbc.peekRow(s_row);
+}
+
+BitVector
+CoruscantUnit::addMany(std::vector<BitVector> rows, std::size_t block_size,
+                       std::size_t active_wires)
+{
+    fatalIf(rows.empty(), "addMany needs at least one row");
+    std::size_t arity = dev.maxAddOperands();
+    // First group takes `arity` rows; later groups reserve one slot
+    // for the running partial sum.
+    BitVector acc;
+    bool have_acc = false;
+    std::size_t i = 0;
+    while (i < rows.size() || !have_acc) {
+        std::vector<BitVector> group;
+        if (have_acc)
+            group.push_back(acc);
+        while (group.size() < arity && i < rows.size())
+            group.push_back(rows[i++]);
+        acc = add(group, block_size, active_wires);
+        have_acc = true;
+        if (i >= rows.size())
+            break;
+    }
+    return acc;
+}
+
+} // namespace coruscant

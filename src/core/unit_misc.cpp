@@ -1,0 +1,157 @@
+/**
+ * @file
+ * CoruscantUnit max function, ReLU, and N-modular-redundancy voting.
+ *
+ * Max (paper Sec. IV-B, Fig. 8): candidate words are rows between the
+ * access ports.  For each bit position, MSB to LSB, a TR counts how
+ * many candidates carry a '1'; if any does, every candidate is rotated
+ * through the right port, lanes whose bit is '0' are eliminated by a
+ * predicated row-buffer reset, and the (possibly zeroed) word re-enters
+ * through the left port with a transverse write, whose segmented shift
+ * returns each word to its original slot.  Without TW each rotation
+ * needs a full-DBC shift plus a separate write (the paper's 28.5%
+ * cycle-saving ablation).
+ *
+ * NMR voting (Sec. III-F, Fig. 7(c)/(d)): N in {3,5,7} replica rows are
+ * placed between the heads with (7-N)/2 preset '1' rows and as many
+ * '0' rows; the C' (>= 4-of-7) output is then exactly the majority.
+ */
+
+#include "core/coruscant_unit.hpp"
+#include "util/logging.hpp"
+
+namespace coruscant {
+
+BitVector
+CoruscantUnit::maxOfRows(const std::vector<BitVector> &candidates,
+                         std::size_t word_bits, std::size_t active_wires,
+                         bool use_tw)
+{
+    std::size_t act = resolveActive(active_wires);
+    std::size_t m = candidates.size();
+    fatalIf(m == 0, "max needs at least one candidate");
+    fatalIf(m > dev.trd, "max compares at most TRD = ", dev.trd,
+            " candidates, got ", m);
+    fatalIf(word_bits == 0, "word size must be positive");
+    fatalIf(act % word_bits != 0,
+            "active wires must be a whole number of word lanes");
+    const std::size_t lanes = act / word_bits;
+
+    stageWindow(candidates, false, act, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+        chargeRowWrite(act);
+        chargeShifts(1, act);
+    }
+
+    for (std::size_t bit = word_bits; bit-- > 0;) {
+        // TR across the candidates' bits at this position, per lane.
+        std::vector<bool> any_one(lanes);
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+            std::size_t w = lane * word_bits + bit;
+            any_one[lane] = dbc.transverseReadWire(w, &faults) > 0;
+        }
+        chargeTrLanes(lanes);
+
+        // Rotate all TRD window rows through the ports, eliminating
+        // lanes that have a '0' where some candidate has a '1'.
+        for (std::size_t rot = 0; rot < dev.trd; ++rot) {
+            BitVector row = dbc.readRowAtPort(Port::Right);
+            chargeRowRead(act);
+            for (std::size_t lane = 0; lane < lanes; ++lane) {
+                if (any_one[lane] && !row.get(lane * word_bits + bit)) {
+                    // Predicated row-buffer reset for this lane.
+                    for (std::size_t b = 0; b < word_bits; ++b)
+                        row.set(lane * word_bits + b, false);
+                }
+            }
+            dbc.transverseWriteRow(row);
+            if (use_tw) {
+                chargeTwRow(act);
+            } else {
+                // Full-wire shift plus an ordinary port write.
+                chargeShifts(1, act);
+                chargeRowWrite(act);
+            }
+        }
+    }
+
+    // Survivors all equal the maximum (or everything is zero); a final
+    // TR reads the max out as the per-wire OR, regardless of which
+    // slot holds it.
+    auto counts = dbc.transverseReadAll(&faults);
+    chargeTrAll(act);
+    BitVector result(dev.wiresPerDbc);
+    for (std::size_t w = 0; w < act; ++w)
+        result.set(w, counts[w] >= 1);
+    chargeRowRead(act);
+    return result;
+}
+
+BitVector
+CoruscantUnit::relu(const BitVector &row, std::size_t block_size,
+                    std::size_t active_wires)
+{
+    std::size_t act = resolveActive(active_wires);
+    fatalIf(block_size == 0, "block size must be positive");
+    fatalIf(act % block_size != 0,
+            "active wires must be a whole number of lanes");
+    fatalIf(row.size() != dev.wiresPerDbc, "row width mismatch");
+    const std::size_t lanes = act / block_size;
+
+    // Sign test on the MSB wires, then a predicated row refresh
+    // (paper Sec. IV-C): 2 cycles.
+    BitVector result = row;
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+        if (row.get(lane * block_size + block_size - 1)) {
+            for (std::size_t b = 0; b < block_size; ++b)
+                result.set(lane * block_size + b, false);
+        }
+    }
+    chargeTrLanes(lanes);
+    chargeRowWrite(act);
+    std::size_t ws = dbc.rowAtPort(Port::Left);
+    dbc.pokeRow(ws, result);
+    return result;
+}
+
+BitVector
+CoruscantUnit::nmrVote(const std::vector<BitVector> &replicas,
+                       std::size_t active_wires)
+{
+    std::size_t act = resolveActive(active_wires);
+    std::size_t n = replicas.size();
+    fatalIf(n != 3 && n != 5 && n != 7,
+            "N-modular redundancy supports N in {3, 5, 7}, got ", n);
+    fatalIf(n > dev.trd, "N = ", n, " exceeds TRD = ", dev.trd);
+
+    std::vector<BitVector> rows = replicas;
+    std::size_t threshold;
+    if (dev.trd == 7) {
+        // Paper Fig. 7: (7-N)/2 preset '1' rows and '0' rows make the
+        // C' (>= 4 of 7) output the exact majority.
+        std::size_t ones_pad = (7 - n) / 2;
+        for (std::size_t i = 0; i < ones_pad; ++i)
+            rows.emplace_back(dev.wiresPerDbc, true);
+        threshold = 4;
+    } else {
+        // Smaller windows: zero padding and the thermometer level at
+        // the majority threshold.
+        threshold = (n + 1) / 2;
+    }
+
+    stageWindow(rows, false, act, 0);
+    // Replicas are outputs of prior PIM steps already resident in the
+    // DBC; cost is one alignment shift, the TR, and the result write.
+    chargeShifts(1, act);
+    auto counts = dbc.transverseReadAll(&faults);
+    chargeTrAll(act);
+
+    BitVector result(dev.wiresPerDbc);
+    for (std::size_t w = 0; w < act; ++w)
+        result.set(w, counts[w] >= threshold);
+    dbc.writeRowAtPort(Port::Left, result);
+    chargeRowWrite(act);
+    return result;
+}
+
+} // namespace coruscant

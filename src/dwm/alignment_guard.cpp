@@ -1,0 +1,78 @@
+#include "dwm/alignment_guard.hpp"
+
+#include "util/logging.hpp"
+
+namespace coruscant {
+
+AlignmentGuard::AlignmentGuard(const DeviceParams &params,
+                               std::size_t guard_wire)
+    : dev(params), wire(guard_wire)
+{
+    fatalIf(guard_wire >= params.wiresPerDbc,
+            "guard wire out of range");
+    fatalIf(params.trd < 2,
+            "alignment guard needs a multi-domain TR window");
+}
+
+bool
+AlignmentGuard::patternBit(std::size_t row) const
+{
+    // Triangle ramp with period 2*TRD: the sliding-window ones count
+    // changes by exactly one per position between peaks.
+    return (row % (2 * dev.trd)) < dev.trd;
+}
+
+void
+AlignmentGuard::install(DomainBlockCluster &dbc) const
+{
+    for (std::size_t r = 0; r < dev.domainsPerWire; ++r)
+        dbc.pokeBit(r, wire, patternBit(r));
+}
+
+std::size_t
+AlignmentGuard::expectedCount(std::size_t window_start) const
+{
+    std::size_t c = 0;
+    for (std::size_t i = 0; i < dev.trd; ++i)
+        c += patternBit(window_start + i) ? 1 : 0;
+    return c;
+}
+
+AlignmentStatus
+AlignmentGuard::check(const DomainBlockCluster &dbc) const
+{
+    std::size_t ws = dbc.windowStartRow();
+    std::size_t measured = dbc.transverseReadWire(wire);
+    if (measured == expectedCount(ws))
+        return AlignmentStatus::Aligned;
+    // A one-position fault shows the neighbouring window's count.
+    bool plus = measured == expectedCount(ws + 1);
+    bool minus = ws > 0 && measured == expectedCount(ws - 1);
+    if (plus && !minus)
+        return AlignmentStatus::OffByPlusOne;
+    if (minus && !plus)
+        return AlignmentStatus::OffByMinusOne;
+    return AlignmentStatus::Unknown;
+}
+
+bool
+AlignmentGuard::checkAndCorrect(DomainBlockCluster &dbc) const
+{
+    switch (check(dbc)) {
+      case AlignmentStatus::Aligned:
+        return true;
+      case AlignmentStatus::OffByPlusOne:
+        // Data sits one position too far toward the left extremity:
+        // a corrective pulse moves it back right.
+        dbc.injectShiftFault(false);
+        break;
+      case AlignmentStatus::OffByMinusOne:
+        dbc.injectShiftFault(true);
+        break;
+      case AlignmentStatus::Unknown:
+        return false;
+    }
+    return check(dbc) == AlignmentStatus::Aligned;
+}
+
+} // namespace coruscant

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * TR-based shift-alignment guard.
+ *
+ * DWM shifting is imprecise: a current pulse can over- or under-shift
+ * ("shifting faults", paper Sec. II-A).  The transverse read was
+ * originally proposed exactly for this (paper Sec. II-D, and the
+ * DSN'19 / TNANO'20 work it cites): dedicate a position-encoding
+ * pattern and compare its TR ones-count against the expected value —
+ * a one-position misalignment changes the count by exactly one.
+ *
+ * This guard dedicates one nanowire of the DBC to a triangle-ramp
+ * pattern whose sliding-window ones count is strictly monotone between
+ * peaks, so a single TR of the guard wire reveals both that the
+ * cluster is misaligned and in which direction, letting the controller
+ * issue the corrective shift.  The mechanism is orthogonal to the PIM
+ * operations (the paper assumes such protection reaches >10-year MTTF
+ * at <1% overhead).
+ */
+
+#ifndef CORUSCANT_DWM_ALIGNMENT_GUARD_HPP
+#define CORUSCANT_DWM_ALIGNMENT_GUARD_HPP
+
+#include <cstdint>
+
+#include "dwm/dbc.hpp"
+
+namespace coruscant {
+
+/** Result of an alignment check. */
+enum class AlignmentStatus
+{
+    Aligned,      ///< guard count matches the expected position
+    OffByPlusOne, ///< cluster sits one position too far left-shifted
+    OffByMinusOne, ///< one position under-shifted
+    Unknown,      ///< count deviates but the direction is ambiguous
+};
+
+/** Guard-pattern management and misalignment detection. */
+class AlignmentGuard
+{
+  public:
+    /**
+     * @param params device geometry
+     * @param guard_wire which nanowire carries the pattern
+     */
+    explicit AlignmentGuard(const DeviceParams &params,
+                            std::size_t guard_wire = 0);
+
+    std::size_t guardWire() const { return wire; }
+
+    /** Write the ramp pattern into the guard wire of @p dbc. */
+    void install(DomainBlockCluster &dbc) const;
+
+    /** Pattern bit for data row @p row. */
+    bool patternBit(std::size_t row) const;
+
+    /** Expected guard TR count when the window starts at @p row. */
+    std::size_t expectedCount(std::size_t window_start) const;
+
+    /**
+     * Check the cluster against its own believed window position
+     * (dbc.windowStartRow()): one TR of the guard wire.
+     */
+    AlignmentStatus check(const DomainBlockCluster &dbc) const;
+
+    /**
+     * Check and, if a one-position fault is detected, issue the
+     * corrective shift.  @return true if the cluster ends aligned.
+     */
+    bool checkAndCorrect(DomainBlockCluster &dbc) const;
+
+  private:
+    DeviceParams dev;
+    std::size_t wire;
+};
+
+} // namespace coruscant
+
+#endif // CORUSCANT_DWM_ALIGNMENT_GUARD_HPP

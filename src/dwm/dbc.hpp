@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Domain-block cluster: X nanowires ganged under one shift controller.
+ *
+ * A DBC (paper Fig. 2(d)) is the unit of PIM: X parallel nanowires of Y
+ * data domains each.  Row r of the DBC is the bit-slice at domain
+ * position r across all wires (an X-bit word).  All wires shift
+ * together; each wire has its own sense amplifier, so transverse reads
+ * happen on all wires simultaneously.
+ *
+ * Representation: rows are stored as X-bit BitVectors indexed by
+ * physical domain position, which makes row-wide operations (the common
+ * case) cheap.  Per-wire column access supports the sequential carry
+ * chain of multi-operand addition.  The representation is
+ * property-tested against the explicit per-wire Nanowire model.
+ */
+
+#ifndef CORUSCANT_DWM_DBC_HPP
+#define CORUSCANT_DWM_DBC_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "dwm/device_params.hpp"
+#include "dwm/fault_model.hpp"
+#include "dwm/nanowire.hpp"
+#include "util/bit_vector.hpp"
+
+namespace coruscant {
+
+/** X nanowires x Y data rows with a shared shift offset. */
+class DomainBlockCluster
+{
+  public:
+    explicit DomainBlockCluster(const DeviceParams &params);
+
+    const DeviceParams &params() const { return dev; }
+
+    /** Bits per row (number of nanowires, X). */
+    std::size_t width() const { return dev.wiresPerDbc; }
+
+    /** Data rows (distinct row addresses, Y). */
+    std::size_t rows() const { return dev.domainsPerWire; }
+
+    // --- Shifting (all wires together) -----------------------------------
+
+    void shiftLeft();
+    void shiftRight();
+    bool canShiftLeft() const;
+    bool canShiftRight() const;
+    int shiftOffset() const { return offset; }
+
+    /** Data row currently aligned with @p port. */
+    std::size_t rowAtPort(Port port) const;
+
+    /** Whether @p row can be aligned with @p port within shift range. */
+    bool canAlign(std::size_t row, Port port) const;
+
+    /** Align @p row with @p port; returns shifts performed. */
+    std::size_t alignRowToPort(std::size_t row, Port port);
+
+    /** Align the TR window with rows [row, row+TRD); returns shifts. */
+    std::size_t alignWindowStart(std::size_t row);
+
+    /** First data row currently inside the TR window. */
+    std::size_t windowStartRow() const { return rowAtPort(Port::Left); }
+
+    // --- Row-wide port access --------------------------------------------
+
+    /** Read the X-bit row under @p port. */
+    BitVector readRowAtPort(Port port) const;
+
+    /** Write the X-bit row under @p port. */
+    void writeRowAtPort(Port port, const BitVector &row);
+
+    // --- Per-wire access (carry chains) ----------------------------------
+
+    /** Read the bit of wire @p wire under @p port. */
+    bool readBitAtPort(std::size_t wire, Port port) const;
+
+    /** Write the bit of wire @p wire under @p port. */
+    void writeBitAtPort(std::size_t wire, Port port, bool value);
+
+    // --- Transverse access ------------------------------------------------
+
+    /**
+     * Transverse read on a single wire: ones count over the TRD-domain
+     * window between the ports (inclusive), optionally fault-perturbed.
+     */
+    std::size_t transverseReadWire(std::size_t wire,
+                                   TrFaultModel *faults = nullptr) const;
+
+    /**
+     * Transverse read on every wire at once (each wire has its own
+     * sense circuit).  @return per-wire ones counts, size width().
+     */
+    std::vector<std::uint8_t>
+    transverseReadAll(TrFaultModel *faults = nullptr) const;
+
+    /**
+     * Segmented transverse read (paper Fig. 3) on every wire: ones
+     * counts of the region between an extremity and the nearer port,
+     * exclusive of the port domain.  Both outer segments can be read
+     * in the same cycle as their current paths are disjoint.
+     */
+    std::vector<std::uint16_t>
+    transverseReadOutsideAll(Port side) const;
+
+    /**
+     * Row-wide transverse write with segmented shift: on every wire the
+     * window advances one domain toward the right port (the row under
+     * the right port is pushed out) and @p row is written under the
+     * left port.
+     */
+    void transverseWriteRow(const BitVector &row);
+
+    /** Single-wire transverse write (predicated max-function steps). */
+    void transverseWriteWire(std::size_t wire, bool value);
+
+    // --- Backdoor (data load / verification; no device semantics) ---------
+
+    /**
+     * Physically move every domain one position WITHOUT updating the
+     * shift bookkeeping: models a shifting fault (an over- or
+     * under-shift the controller is unaware of), and equally the
+     * corrective pulse that undoes one.  Domains pushed past an
+     * extremity are lost.
+     */
+    void injectShiftFault(bool toward_left);
+
+    BitVector peekRow(std::size_t row) const;
+    void pokeRow(std::size_t row, const BitVector &value);
+    bool peekBit(std::size_t row, std::size_t wire) const;
+    void pokeBit(std::size_t row, std::size_t wire, bool value);
+
+  private:
+    std::size_t portPhysical(Port port) const;
+    std::size_t physicalIndex(std::size_t row) const;
+
+    DeviceParams dev;
+    std::vector<BitVector> physRows; ///< indexed by physical position
+    int offset = 0;                  ///< net left shifts applied
+};
+
+} // namespace coruscant
+
+#endif // CORUSCANT_DWM_DBC_HPP

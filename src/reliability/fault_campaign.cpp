@@ -1,0 +1,129 @@
+#include "reliability/fault_campaign.hpp"
+
+#include "core/coruscant_unit.hpp"
+#include "reliability/error_model.hpp"
+#include "util/rng.hpp"
+
+namespace coruscant {
+
+namespace {
+
+DeviceParams
+paramsFor(std::size_t trd, std::size_t wires)
+{
+    DeviceParams p = DeviceParams::withTrd(trd);
+    p.wiresPerDbc = wires;
+    return p;
+}
+
+} // namespace
+
+CampaignResult
+FaultCampaign::addCampaign(std::size_t trd, std::size_t bits,
+                           double p_fault, std::uint64_t trials,
+                           std::uint64_t seed)
+{
+    CampaignResult res;
+    res.trials = trials;
+    res.analyticalRate =
+        TrErrorModel(trd, p_fault).addError(bits);
+    CoruscantUnit unit(paramsFor(trd, bits), p_fault, seed);
+    Rng rng(seed * 7919 + 13);
+    std::uint64_t mask = bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+    for (std::uint64_t t = 0; t < trials; ++t) {
+        std::uint64_t a = rng.next() & mask;
+        std::uint64_t b = rng.next() & mask;
+        auto sum = unit.add({BitVector::fromUint64(bits, a),
+                             BitVector::fromUint64(bits, b)},
+                            bits, bits);
+        if (sum.toUint64() != ((a + b) & mask))
+            ++res.errors;
+    }
+    res.injectedFaults = unit.injectedFaults();
+    return res;
+}
+
+CampaignResult
+FaultCampaign::bulkCampaign(BulkOp op, std::size_t trd,
+                            std::size_t operands, double p_fault,
+                            std::uint64_t trials, std::uint64_t seed)
+{
+    CampaignResult res;
+    const std::size_t wires = 64;
+    res.trials = trials * wires; // per-bit rate
+    TrErrorModel model(trd, p_fault);
+    res.analyticalRate = (op == BulkOp::Xor || op == BulkOp::Xnor)
+                             ? model.perBitXor()
+                             : model.perBitOrAndSuperCarry();
+    CoruscantUnit unit(paramsFor(trd, wires), p_fault, seed);
+    CoruscantUnit golden(paramsFor(trd, wires));
+    Rng rng(seed * 104729 + 7);
+    for (std::uint64_t t = 0; t < trials; ++t) {
+        std::vector<BitVector> ops;
+        for (std::size_t i = 0; i < operands; ++i) {
+            BitVector row(wires);
+            for (std::size_t w = 0; w < wires; ++w)
+                row.set(w, rng.nextBool());
+            ops.push_back(std::move(row));
+        }
+        auto noisy = unit.bulkBitwise(op, ops);
+        auto clean = golden.bulkBitwise(op, ops);
+        res.errors += (noisy ^ clean).popcount();
+    }
+    res.injectedFaults = unit.injectedFaults();
+    return res;
+}
+
+CampaignResult
+FaultCampaign::multiplyCampaign(std::size_t trd, std::size_t bits,
+                                double p_fault, std::uint64_t trials,
+                                std::uint64_t seed)
+{
+    CampaignResult res;
+    res.trials = trials;
+    res.analyticalRate =
+        TrErrorModel(trd, p_fault).multiplyError(bits);
+    const std::size_t lane = 2 * bits;
+    CoruscantUnit unit(paramsFor(trd, lane), p_fault, seed);
+    Rng rng(seed * 31337 + 3);
+    std::uint64_t mask = (1ULL << bits) - 1;
+    for (std::uint64_t t = 0; t < trials; ++t) {
+        std::uint64_t a = rng.next() & mask;
+        std::uint64_t b = rng.next() & mask;
+        auto prod = unit.multiply(BitVector::fromUint64(lane, a),
+                                  BitVector::fromUint64(lane, b), bits);
+        if (prod.toUint64() != a * b)
+            ++res.errors;
+    }
+    res.injectedFaults = unit.injectedFaults();
+    return res;
+}
+
+CampaignResult
+FaultCampaign::nmrAddCampaign(std::size_t trd, std::size_t n,
+                              std::size_t bits, double p_fault,
+                              std::uint64_t trials, std::uint64_t seed)
+{
+    CampaignResult res;
+    res.trials = trials;
+    res.analyticalRate =
+        TrErrorModel(trd, p_fault).nmrAddError(n, bits);
+    CoruscantUnit unit(paramsFor(trd, bits), p_fault, seed);
+    Rng rng(seed * 27644437 + 11);
+    std::uint64_t mask = bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+    for (std::uint64_t t = 0; t < trials; ++t) {
+        std::uint64_t a = rng.next() & mask;
+        std::uint64_t b = rng.next() & mask;
+        auto voted = unit.nmrExecute(n, [&] {
+            return unit.add({BitVector::fromUint64(bits, a),
+                             BitVector::fromUint64(bits, b)},
+                            bits, bits);
+        });
+        if (voted.slice(0, bits).toUint64() != ((a + b) & mask))
+            ++res.errors;
+    }
+    res.injectedFaults = unit.injectedFaults();
+    return res;
+}
+
+} // namespace coruscant

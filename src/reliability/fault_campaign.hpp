@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Monte-Carlo fault-injection campaigns.
+ *
+ * Cross-validates the analytical TrErrorModel: operations run on the
+ * functional simulator with the TR fault injector enabled at an
+ * elevated rate (1e-6 is uneconomical to sample), and the empirical
+ * error rate is compared against the analytical prediction evaluated
+ * at the same rate.
+ */
+
+#ifndef CORUSCANT_RELIABILITY_FAULT_CAMPAIGN_HPP
+#define CORUSCANT_RELIABILITY_FAULT_CAMPAIGN_HPP
+
+#include <cstdint>
+
+#include "core/pim_logic.hpp"
+
+namespace coruscant {
+
+/** Outcome of one injection campaign. */
+struct CampaignResult
+{
+    std::uint64_t trials = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t injectedFaults = 0;
+    double analyticalRate = 0.0;
+
+    double
+    empiricalRate() const
+    {
+        return trials == 0 ? 0.0
+                           : static_cast<double>(errors) /
+                                 static_cast<double>(trials);
+    }
+};
+
+/** Campaign drivers for the core operations. */
+class FaultCampaign
+{
+  public:
+    /**
+     * Random two-operand k-bit additions under injected TR faults.
+     * An "error" is any wrong lane sum in a trial.
+     */
+    static CampaignResult addCampaign(std::size_t trd, std::size_t bits,
+                                      double p_fault,
+                                      std::uint64_t trials,
+                                      std::uint64_t seed = 1);
+
+    /** Random m-operand bulk ops under injected faults (per-bit). */
+    static CampaignResult bulkCampaign(BulkOp op, std::size_t trd,
+                                       std::size_t operands,
+                                       double p_fault,
+                                       std::uint64_t trials,
+                                       std::uint64_t seed = 1);
+
+    /** Random k-bit multiplications under injected faults. */
+    static CampaignResult multiplyCampaign(std::size_t trd,
+                                           std::size_t bits,
+                                           double p_fault,
+                                           std::uint64_t trials,
+                                           std::uint64_t seed = 1);
+
+    /** N-modular-redundant additions under injected faults. */
+    static CampaignResult nmrAddCampaign(std::size_t trd, std::size_t n,
+                                         std::size_t bits,
+                                         double p_fault,
+                                         std::uint64_t trials,
+                                         std::uint64_t seed = 1);
+};
+
+} // namespace coruscant
+
+#endif // CORUSCANT_RELIABILITY_FAULT_CAMPAIGN_HPP

@@ -1,0 +1,244 @@
+#include "util/bit_vector.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace coruscant {
+
+BitVector::BitVector(std::size_t size, bool value)
+    : numBits(size), words(wordCount(size), value ? ~0ULL : 0ULL)
+{
+    clearPadding();
+}
+
+BitVector
+BitVector::fromUint64(std::size_t size, std::uint64_t bits)
+{
+    BitVector v(size);
+    if (!v.words.empty()) {
+        v.words[0] = bits;
+        v.clearPadding();
+    }
+    return v;
+}
+
+BitVector
+BitVector::fromString(const std::string &s)
+{
+    BitVector v(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        char c = s[s.size() - 1 - i];
+        assert(c == '0' || c == '1');
+        v.set(i, c == '1');
+    }
+    return v;
+}
+
+bool
+BitVector::get(std::size_t idx) const
+{
+    assert(idx < numBits);
+    return (words[idx / bitsPerWord] >> (idx % bitsPerWord)) & 1ULL;
+}
+
+void
+BitVector::set(std::size_t idx, bool value)
+{
+    assert(idx < numBits);
+    std::uint64_t mask = 1ULL << (idx % bitsPerWord);
+    if (value)
+        words[idx / bitsPerWord] |= mask;
+    else
+        words[idx / bitsPerWord] &= ~mask;
+}
+
+void
+BitVector::fill(bool value)
+{
+    for (auto &w : words)
+        w = value ? ~0ULL : 0ULL;
+    clearPadding();
+}
+
+std::size_t
+BitVector::popcount() const
+{
+    std::size_t n = 0;
+    for (auto w : words)
+        n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+}
+
+BitVector
+BitVector::shiftedLeft(std::size_t n) const
+{
+    BitVector out(numBits);
+    if (n >= numBits)
+        return out;
+    const std::size_t word_shift = n / bitsPerWord;
+    const std::size_t bit_shift = n % bitsPerWord;
+    for (std::size_t i = words.size(); i-- > 0;) {
+        std::uint64_t w = 0;
+        if (i >= word_shift) {
+            w = words[i - word_shift] << bit_shift;
+            if (bit_shift > 0 && i > word_shift)
+                w |= words[i - word_shift - 1] >> (bitsPerWord - bit_shift);
+        }
+        out.words[i] = w;
+    }
+    out.clearPadding();
+    return out;
+}
+
+BitVector
+BitVector::shiftedRight(std::size_t n) const
+{
+    BitVector out(numBits);
+    if (n >= numBits)
+        return out;
+    const std::size_t word_shift = n / bitsPerWord;
+    const std::size_t bit_shift = n % bitsPerWord;
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        std::uint64_t w = 0;
+        if (i + word_shift < words.size()) {
+            w = words[i + word_shift] >> bit_shift;
+            if (bit_shift > 0 && i + word_shift + 1 < words.size())
+                w |= words[i + word_shift + 1] << (bitsPerWord - bit_shift);
+        }
+        out.words[i] = w;
+    }
+    out.clearPadding();
+    return out;
+}
+
+BitVector
+BitVector::operator~() const
+{
+    BitVector out(*this);
+    for (auto &w : out.words)
+        w = ~w;
+    out.clearPadding();
+    return out;
+}
+
+BitVector
+BitVector::operator&(const BitVector &o) const
+{
+    BitVector out(*this);
+    out &= o;
+    return out;
+}
+
+BitVector
+BitVector::operator|(const BitVector &o) const
+{
+    BitVector out(*this);
+    out |= o;
+    return out;
+}
+
+BitVector
+BitVector::operator^(const BitVector &o) const
+{
+    BitVector out(*this);
+    out ^= o;
+    return out;
+}
+
+BitVector &
+BitVector::operator&=(const BitVector &o)
+{
+    assert(numBits == o.numBits);
+    for (std::size_t i = 0; i < words.size(); ++i)
+        words[i] &= o.words[i];
+    return *this;
+}
+
+BitVector &
+BitVector::operator|=(const BitVector &o)
+{
+    assert(numBits == o.numBits);
+    for (std::size_t i = 0; i < words.size(); ++i)
+        words[i] |= o.words[i];
+    return *this;
+}
+
+BitVector &
+BitVector::operator^=(const BitVector &o)
+{
+    assert(numBits == o.numBits);
+    for (std::size_t i = 0; i < words.size(); ++i)
+        words[i] ^= o.words[i];
+    return *this;
+}
+
+bool
+BitVector::operator==(const BitVector &o) const
+{
+    return numBits == o.numBits && words == o.words;
+}
+
+std::uint64_t
+BitVector::sliceUint64(std::size_t offset, std::size_t width) const
+{
+    assert(width <= 64);
+    assert(offset + width <= numBits);
+    std::uint64_t out = 0;
+    for (std::size_t i = 0; i < width; ++i)
+        if (get(offset + i))
+            out |= 1ULL << i;
+    return out;
+}
+
+std::uint64_t
+BitVector::toUint64() const
+{
+    return sliceUint64(0, numBits);
+}
+
+void
+BitVector::insertUint64(std::size_t offset, std::size_t width,
+                        std::uint64_t value)
+{
+    assert(offset + width <= numBits);
+    for (std::size_t i = 0; i < width; ++i)
+        set(offset + i, (value >> i) & 1ULL);
+}
+
+BitVector
+BitVector::slice(std::size_t offset, std::size_t width) const
+{
+    assert(offset + width <= numBits);
+    BitVector out(width);
+    for (std::size_t i = 0; i < width; ++i)
+        out.set(i, get(offset + i));
+    return out;
+}
+
+void
+BitVector::insert(std::size_t offset, const BitVector &src)
+{
+    assert(offset + src.size() <= numBits);
+    for (std::size_t i = 0; i < src.size(); ++i)
+        set(offset + i, src.get(i));
+}
+
+std::string
+BitVector::toString() const
+{
+    std::string s;
+    s.reserve(numBits);
+    for (std::size_t i = numBits; i-- > 0;)
+        s.push_back(get(i) ? '1' : '0');
+    return s;
+}
+
+void
+BitVector::clearPadding()
+{
+    std::size_t rem = numBits % bitsPerWord;
+    if (rem != 0 && !words.empty())
+        words.back() &= (1ULL << rem) - 1;
+}
+
+} // namespace coruscant

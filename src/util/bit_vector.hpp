@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Dynamic bit vector used to model memory rows and operand words.
+ *
+ * Rows in the simulated DWM/DRAM arrays are bit-slices across nanowires
+ * (typically 512 bits); BitVector provides the packed storage, bitwise
+ * combinators, shifting, population count, and integer packing helpers
+ * used throughout the simulator.
+ */
+
+#ifndef CORUSCANT_UTIL_BIT_VECTOR_HPP
+#define CORUSCANT_UTIL_BIT_VECTOR_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coruscant {
+
+/**
+ * A fixed-size-after-construction vector of bits with value semantics.
+ *
+ * Bit index 0 is the least-significant bit when the vector is viewed as
+ * an integer (e.g. by toUint64()).  All binary operators require equal
+ * sizes and assert on mismatch.
+ */
+class BitVector
+{
+  public:
+    /** Construct an empty (size 0) vector. */
+    BitVector() = default;
+
+    /** Construct @p size bits, all initialized to @p value. */
+    explicit BitVector(std::size_t size, bool value = false);
+
+    /**
+     * Build a vector from the low @p size bits of @p bits.
+     * @param size number of bits (may exceed 64; upper bits are zero)
+     * @param bits source integer, bit 0 maps to index 0
+     */
+    static BitVector fromUint64(std::size_t size, std::uint64_t bits);
+
+    /** Build from a string of '0'/'1' characters, index 0 = last char. */
+    static BitVector fromString(const std::string &s);
+
+    /** Number of bits. */
+    std::size_t size() const { return numBits; }
+
+    /** Whether the vector holds zero bits. */
+    bool empty() const { return numBits == 0; }
+
+    /** Read the bit at @p idx. */
+    bool get(std::size_t idx) const;
+
+    /** Set the bit at @p idx to @p value. */
+    void set(std::size_t idx, bool value);
+
+    /** Set all bits to @p value. */
+    void fill(bool value);
+
+    /** Number of '1' bits. */
+    std::size_t popcount() const;
+
+    /** True if any bit is '1'. */
+    bool any() const { return popcount() > 0; }
+
+    /** True if every bit is '1'. */
+    bool all() const { return popcount() == numBits; }
+
+    /** Logical left shift by @p n (toward higher indices), zero fill. */
+    BitVector shiftedLeft(std::size_t n) const;
+
+    /** Logical right shift by @p n (toward lower indices), zero fill. */
+    BitVector shiftedRight(std::size_t n) const;
+
+    /** Bitwise NOT. */
+    BitVector operator~() const;
+
+    BitVector operator&(const BitVector &o) const;
+    BitVector operator|(const BitVector &o) const;
+    BitVector operator^(const BitVector &o) const;
+
+    BitVector &operator&=(const BitVector &o);
+    BitVector &operator|=(const BitVector &o);
+    BitVector &operator^=(const BitVector &o);
+
+    bool operator==(const BitVector &o) const;
+    bool operator!=(const BitVector &o) const { return !(*this == o); }
+
+    /**
+     * Interpret bits [offset, offset+width) as an unsigned integer.
+     * @pre width <= 64 and offset+width <= size()
+     */
+    std::uint64_t sliceUint64(std::size_t offset, std::size_t width) const;
+
+    /** Interpret the whole vector (must be <= 64 bits) as unsigned. */
+    std::uint64_t toUint64() const;
+
+    /**
+     * Write the low @p width bits of @p value into
+     * bits [offset, offset+width).
+     */
+    void insertUint64(std::size_t offset, std::size_t width,
+                      std::uint64_t value);
+
+    /** Extract bits [offset, offset+width) as a new vector. */
+    BitVector slice(std::size_t offset, std::size_t width) const;
+
+    /** Overwrite bits [offset, offset+src.size()) with @p src. */
+    void insert(std::size_t offset, const BitVector &src);
+
+    /** Render as a '0'/'1' string, most-significant bit first. */
+    std::string toString() const;
+
+  private:
+    static constexpr std::size_t bitsPerWord = 64;
+
+    static std::size_t wordCount(std::size_t bits)
+    {
+        return (bits + bitsPerWord - 1) / bitsPerWord;
+    }
+
+    /** Zero any bits in the final word beyond numBits. */
+    void clearPadding();
+
+    std::size_t numBits = 0;
+    std::vector<std::uint64_t> words;
+};
+
+} // namespace coruscant
+
+#endif // CORUSCANT_UTIL_BIT_VECTOR_HPP

@@ -1,0 +1,74 @@
+#include "util/csd.hpp"
+
+#include <cassert>
+
+namespace coruscant {
+
+std::vector<CsdTerm>
+csdRecode(std::uint64_t value)
+{
+    // Classic non-adjacent-form recoding: examine pairs of bits of
+    // value; a run of ones ...0111...1 becomes +2^(k+len) - 2^k.
+    std::vector<CsdTerm> terms;
+    unsigned shift = 0;
+    // Work on a wide accumulator so the +1 carry out of bit 63 is kept.
+    unsigned __int128 v = value;
+    while (v != 0) {
+        if (v & 1) {
+            // Digit is nonzero; choose sign so the remaining value is
+            // divisible by 4 (yields the non-adjacent form).
+            if ((v & 3) == 3) {
+                terms.push_back({-1, shift});
+                v += 1;
+            } else {
+                terms.push_back({+1, shift});
+                v -= 1;
+            }
+        }
+        v >>= 1;
+        ++shift;
+    }
+    return terms;
+}
+
+std::size_t
+csdWeight(std::uint64_t value)
+{
+    return csdRecode(value).size();
+}
+
+std::string
+csdToString(std::uint64_t value)
+{
+    auto terms = csdRecode(value);
+    unsigned width = 0;
+    for (const auto &t : terms)
+        width = std::max(width, t.shift + 1);
+    if (width == 0)
+        return "O";
+    std::string s(width, 'O');
+    for (const auto &t : terms)
+        s[width - 1 - t.shift] = t.sign > 0 ? 'P' : 'N';
+    return s;
+}
+
+std::size_t
+csdAdditionSteps(std::uint64_t value, std::size_t max_operands)
+{
+    assert(max_operands >= 2);
+    std::size_t remaining = csdWeight(value);
+    if (remaining <= 1)
+        return 0; // power of two (or zero): shifts only, no addition
+    std::size_t steps = 0;
+    // First step consumes up to max_operands terms; each later step
+    // consumes the partial sum plus up to max_operands - 1 new terms.
+    remaining -= std::min(remaining, max_operands);
+    ++steps;
+    while (remaining > 0) {
+        remaining -= std::min(remaining, max_operands - 1);
+        ++steps;
+    }
+    return steps;
+}
+
+} // namespace coruscant

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Canonical-signed-digit (Booth) recoding for constant multiplication.
+ *
+ * CORUSCANT's constant-multiplication strategy (paper Section III-D.1)
+ * encodes the constant multiplier with digits in {-1, 0, +1} ("N", "O",
+ * "P" in the paper) so the product is a short sum/difference of shifted
+ * copies of the multiplicand.  This module provides the recoding and a
+ * term-decomposition planner that groups the digits into addition steps
+ * of at most a given arity (TRD - 2 operands per CORUSCANT addition).
+ */
+
+#ifndef CORUSCANT_UTIL_CSD_HPP
+#define CORUSCANT_UTIL_CSD_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coruscant {
+
+/** One signed power-of-two term: sign * 2^shift. */
+struct CsdTerm
+{
+    int sign = 1;       ///< +1 or -1
+    unsigned shift = 0; ///< power-of-two exponent
+
+    bool operator==(const CsdTerm &o) const
+    {
+        return sign == o.sign && shift == o.shift;
+    }
+};
+
+/**
+ * Recode @p value into canonical signed digit form.
+ *
+ * The result is the unique minimal-weight representation with no two
+ * adjacent nonzero digits.  Terms are returned in increasing shift
+ * order and satisfy sum(sign * 2^shift) == value.
+ */
+std::vector<CsdTerm> csdRecode(std::uint64_t value);
+
+/** Number of nonzero digits in the CSD form of @p value. */
+std::size_t csdWeight(std::uint64_t value);
+
+/**
+ * Render the CSD digits of @p value as a P/O/N string (MSB first),
+ * matching the paper's notation (P = +1, O = 0, N = -1).
+ */
+std::string csdToString(std::uint64_t value);
+
+/**
+ * Group CSD terms of @p value into addition steps of at most
+ * @p max_operands terms each (the first step has no accumulated partial
+ * sum; later steps reserve one slot for the running total).
+ *
+ * @return number of CORUSCANT addition steps needed to multiply by
+ *         @p value given an adder of arity @p max_operands.
+ */
+std::size_t csdAdditionSteps(std::uint64_t value, std::size_t max_operands);
+
+} // namespace coruscant
+
+#endif // CORUSCANT_UTIL_CSD_HPP

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Minimal Q-format fixed-point helpers for the CNN case study.
+ *
+ * The paper's full-precision CNN mode is 8-bit integer arithmetic; the
+ * functional CNN executor quantizes float tensors to signed 8-bit with a
+ * per-tensor scale, runs integer convolution through the PIM model, and
+ * dequantizes for accuracy comparison.
+ */
+
+#ifndef CORUSCANT_UTIL_FIXED_POINT_HPP
+#define CORUSCANT_UTIL_FIXED_POINT_HPP
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace coruscant {
+
+/** Symmetric linear quantization of a float array to int8. */
+struct QuantizedTensor
+{
+    std::vector<std::int8_t> values;
+    double scale = 1.0; ///< real = scale * quantized
+
+    /** Quantize @p data symmetrically into [-127, 127]. */
+    static QuantizedTensor
+    quantize(const std::vector<float> &data)
+    {
+        QuantizedTensor q;
+        float max_abs = 0.0f;
+        for (float v : data)
+            max_abs = std::max(max_abs, std::abs(v));
+        q.scale = max_abs > 0 ? max_abs / 127.0 : 1.0;
+        q.values.reserve(data.size());
+        for (float v : data) {
+            int iv = static_cast<int>(std::lround(v / q.scale));
+            q.values.push_back(static_cast<std::int8_t>(
+                std::clamp(iv, -127, 127)));
+        }
+        return q;
+    }
+
+    /** Recover the approximate real value at @p i. */
+    double
+    dequantize(std::size_t i) const
+    {
+        return scale * static_cast<double>(values[i]);
+    }
+};
+
+} // namespace coruscant
+
+#endif // CORUSCANT_UTIL_FIXED_POINT_HPP

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal() is for user/configuration errors the simulation cannot
+ * continue past; panic() is for internal invariant violations (bugs).
+ */
+
+#ifndef CORUSCANT_UTIL_LOGGING_HPP
+#define CORUSCANT_UTIL_LOGGING_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace coruscant {
+
+/** Thrown for invalid configurations or arguments (user's fault). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error("fatal: " + msg)
+    {}
+};
+
+/** Thrown for internal invariant violations (simulator bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error("panic: " + msg)
+    {}
+};
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &v, const Rest &...rest)
+{
+    os << v;
+    formatInto(os, rest...);
+}
+
+} // namespace detail
+
+/** Raise a FatalError built from the streamed arguments. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, args...);
+    throw FatalError(os.str());
+}
+
+/** Raise a PanicError built from the streamed arguments. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, args...);
+    throw PanicError(os.str());
+}
+
+/** fatal() unless @p cond holds. */
+template <typename... Args>
+void
+fatalIf(bool cond, const Args &...args)
+{
+    if (cond)
+        fatal(args...);
+}
+
+/** panic() unless @p cond holds. */
+template <typename... Args>
+void
+panicIf(bool cond, const Args &...args)
+{
+    if (cond)
+        panic(args...);
+}
+
+} // namespace coruscant
+
+#endif // CORUSCANT_UTIL_LOGGING_HPP

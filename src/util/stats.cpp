@@ -1,0 +1,20 @@
+#include "util/stats.hpp"
+
+#include <sstream>
+
+namespace coruscant {
+
+std::string
+CostLedger::summary() const
+{
+    std::ostringstream os;
+    os << "total: " << totalCycles_ << " cycles, " << totalEnergyPj_
+       << " pJ\n";
+    for (const auto &[k, v] : byCategory_) {
+        os << "  " << k << ": " << v.count << " ops, " << v.cycles
+           << " cycles, " << v.energyPj << " pJ\n";
+    }
+    return os.str();
+}
+
+} // namespace coruscant

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Cycle and energy accounting for the simulators.
+ *
+ * Every modeled component charges its primitive operations to a
+ * CostLedger.  Ledgers are cheap value types that can be merged, so a
+ * composite operation's cost is the sum of its primitives' costs.
+ */
+
+#ifndef CORUSCANT_UTIL_STATS_HPP
+#define CORUSCANT_UTIL_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace coruscant {
+
+/**
+ * Accumulates cycles and energy (picojoules), with per-category
+ * breakdowns for reporting.
+ */
+class CostLedger
+{
+  public:
+    /** Charge @p cycles cycles and @p energy_pj picojoules to @p what. */
+    void
+    charge(const std::string &what, std::uint64_t cycles, double energy_pj)
+    {
+        totalCycles_ += cycles;
+        totalEnergyPj_ += energy_pj;
+        auto &e = byCategory_[what];
+        e.cycles += cycles;
+        e.energyPj += energy_pj;
+        e.count += 1;
+    }
+
+    /** Charge energy only (parallel activity hidden under other cycles). */
+    void
+    chargeEnergy(const std::string &what, double energy_pj)
+    {
+        charge(what, 0, energy_pj);
+    }
+
+    /** Merge another ledger's totals into this one. */
+    void
+    merge(const CostLedger &o)
+    {
+        totalCycles_ += o.totalCycles_;
+        totalEnergyPj_ += o.totalEnergyPj_;
+        for (const auto &[k, v] : o.byCategory_) {
+            auto &e = byCategory_[k];
+            e.cycles += v.cycles;
+            e.energyPj += v.energyPj;
+            e.count += v.count;
+        }
+    }
+
+    void
+    reset()
+    {
+        totalCycles_ = 0;
+        totalEnergyPj_ = 0;
+        byCategory_.clear();
+    }
+
+    std::uint64_t cycles() const { return totalCycles_; }
+    double energyPj() const { return totalEnergyPj_; }
+
+    /** Per-category entry. */
+    struct Entry
+    {
+        std::uint64_t cycles = 0;
+        double energyPj = 0;
+        std::uint64_t count = 0;
+    };
+
+    const std::map<std::string, Entry> &byCategory() const
+    {
+        return byCategory_;
+    }
+
+    /** Human-readable multi-line summary. */
+    std::string summary() const;
+
+  private:
+    std::uint64_t totalCycles_ = 0;
+    double totalEnergyPj_ = 0;
+    std::map<std::string, Entry> byCategory_;
+};
+
+} // namespace coruscant
+
+#endif // CORUSCANT_UTIL_STATS_HPP

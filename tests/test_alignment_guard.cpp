@@ -1,0 +1,133 @@
+/**
+ * @file
+ * TR-based shift-alignment guard: detection and correction of
+ * one-position shifting faults.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dwm/alignment_guard.hpp"
+#include "util/rng.hpp"
+
+namespace coruscant {
+namespace {
+
+DeviceParams
+params(std::size_t trd = 7, std::size_t wires = 8)
+{
+    DeviceParams p = DeviceParams::withTrd(trd);
+    p.wiresPerDbc = wires;
+    return p;
+}
+
+TEST(AlignmentGuard, RampCountChangesByOneBetweenPeaks)
+{
+    AlignmentGuard g(params());
+    for (std::size_t s = 1; s + 7 < 25; ++s) {
+        auto d = static_cast<long>(g.expectedCount(s + 1)) -
+                 static_cast<long>(g.expectedCount(s));
+        EXPECT_LE(std::abs(d), 1) << "s=" << s;
+    }
+    // Full window over a ramp crest counts TRD; over a trough, zero.
+    EXPECT_EQ(g.expectedCount(0), 7u);
+    EXPECT_EQ(g.expectedCount(7), 0u);
+}
+
+TEST(AlignmentGuard, AlignedClusterChecksClean)
+{
+    DomainBlockCluster dbc(params());
+    AlignmentGuard g(params());
+    g.install(dbc);
+    for (std::size_t ws : {2u, 5u, 10u, 18u}) {
+        dbc.alignWindowStart(ws);
+        EXPECT_EQ(g.check(dbc), AlignmentStatus::Aligned) << ws;
+    }
+}
+
+TEST(AlignmentGuard, DetectsInjectedFaultDirection)
+{
+    for (bool toward_left : {true, false}) {
+        DomainBlockCluster dbc(params());
+        AlignmentGuard g(params());
+        g.install(dbc);
+        dbc.alignWindowStart(3); // monotone ramp region
+        dbc.injectShiftFault(toward_left);
+        auto status = g.check(dbc);
+        if (toward_left) {
+            EXPECT_EQ(status, AlignmentStatus::OffByPlusOne);
+        } else {
+            EXPECT_EQ(status, AlignmentStatus::OffByMinusOne);
+        }
+    }
+}
+
+TEST(AlignmentGuard, CorrectionRestoresData)
+{
+    DomainBlockCluster dbc(params(7, 8));
+    AlignmentGuard g(params(7, 8), 0);
+    g.install(dbc);
+    // User data on the non-guard wires.
+    Rng rng(5);
+    std::vector<std::uint8_t> snapshot;
+    for (std::size_t r = 0; r < 32; ++r) {
+        for (std::size_t w = 1; w < 8; ++w) {
+            bool b = rng.nextBool();
+            dbc.pokeBit(r, w, b);
+            snapshot.push_back(b);
+        }
+    }
+    dbc.alignWindowStart(4);
+    dbc.injectShiftFault(true);
+    ASSERT_NE(g.check(dbc), AlignmentStatus::Aligned);
+    ASSERT_TRUE(g.checkAndCorrect(dbc));
+    // Data rows intact after the corrective pulse.
+    std::size_t i = 0;
+    for (std::size_t r = 0; r < 32; ++r)
+        for (std::size_t w = 1; w < 8; ++w)
+            EXPECT_EQ(dbc.peekBit(r, w), snapshot[i++] != 0)
+                << "row " << r << " wire " << w;
+}
+
+TEST(AlignmentGuard, PeakPositionsAreAmbiguous)
+{
+    DomainBlockCluster dbc(params());
+    AlignmentGuard g(params());
+    g.install(dbc);
+    dbc.alignWindowStart(7); // trough of the ramp: both neighbors +1
+    dbc.injectShiftFault(true);
+    EXPECT_EQ(g.check(dbc), AlignmentStatus::Unknown);
+}
+
+TEST(AlignmentGuard, SurvivesLegalShifting)
+{
+    // Normal (tracked) shifts must never trip the guard.
+    DomainBlockCluster dbc(params());
+    AlignmentGuard g(params());
+    g.install(dbc);
+    Rng rng(11);
+    for (int i = 0; i < 200; ++i) {
+        if (rng.nextBool() && dbc.canShiftLeft())
+            dbc.shiftLeft();
+        else if (dbc.canShiftRight())
+            dbc.shiftRight();
+        std::size_t ws = dbc.windowStartRow();
+        if (ws + 7 <= 32) {
+            EXPECT_EQ(g.check(dbc), AlignmentStatus::Aligned)
+                << "step " << i;
+        }
+    }
+}
+
+TEST(AlignmentGuard, WorksAtSmallTrd)
+{
+    DomainBlockCluster dbc(params(3, 4));
+    AlignmentGuard g(params(3, 4));
+    g.install(dbc);
+    dbc.alignWindowStart(4);
+    dbc.injectShiftFault(false);
+    EXPECT_EQ(g.check(dbc), AlignmentStatus::OffByMinusOne);
+    EXPECT_TRUE(g.checkAndCorrect(dbc));
+}
+
+} // namespace
+} // namespace coruscant

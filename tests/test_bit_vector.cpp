@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit tests for BitVector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bit_vector.hpp"
+#include "util/rng.hpp"
+
+namespace coruscant {
+namespace {
+
+TEST(BitVector, DefaultIsEmpty)
+{
+    BitVector v;
+    EXPECT_EQ(v.size(), 0u);
+    EXPECT_TRUE(v.empty());
+}
+
+TEST(BitVector, ConstructAllZero)
+{
+    BitVector v(100);
+    EXPECT_EQ(v.size(), 100u);
+    EXPECT_EQ(v.popcount(), 0u);
+    EXPECT_FALSE(v.any());
+}
+
+TEST(BitVector, ConstructAllOne)
+{
+    BitVector v(100, true);
+    EXPECT_EQ(v.popcount(), 100u);
+    EXPECT_TRUE(v.all());
+}
+
+TEST(BitVector, SetAndGet)
+{
+    BitVector v(130);
+    v.set(0, true);
+    v.set(64, true);
+    v.set(129, true);
+    EXPECT_TRUE(v.get(0));
+    EXPECT_TRUE(v.get(64));
+    EXPECT_TRUE(v.get(129));
+    EXPECT_FALSE(v.get(1));
+    EXPECT_EQ(v.popcount(), 3u);
+    v.set(64, false);
+    EXPECT_FALSE(v.get(64));
+    EXPECT_EQ(v.popcount(), 2u);
+}
+
+TEST(BitVector, FromUint64RoundTrip)
+{
+    auto v = BitVector::fromUint64(16, 0xBEEF);
+    EXPECT_EQ(v.toUint64(), 0xBEEFu);
+    EXPECT_EQ(v.size(), 16u);
+}
+
+TEST(BitVector, FromUint64Truncates)
+{
+    auto v = BitVector::fromUint64(8, 0x1FF);
+    EXPECT_EQ(v.toUint64(), 0xFFu);
+}
+
+TEST(BitVector, FromStringMsbFirst)
+{
+    auto v = BitVector::fromString("1010");
+    EXPECT_EQ(v.size(), 4u);
+    EXPECT_TRUE(v.get(1));
+    EXPECT_TRUE(v.get(3));
+    EXPECT_FALSE(v.get(0));
+    EXPECT_EQ(v.toString(), "1010");
+}
+
+TEST(BitVector, ShiftLeftSmall)
+{
+    auto v = BitVector::fromUint64(16, 0x00FF);
+    EXPECT_EQ(v.shiftedLeft(4).toUint64(), 0x0FF0u);
+}
+
+TEST(BitVector, ShiftLeftDropsHighBits)
+{
+    auto v = BitVector::fromUint64(8, 0xFF);
+    EXPECT_EQ(v.shiftedLeft(4).toUint64(), 0xF0u);
+}
+
+TEST(BitVector, ShiftRightSmall)
+{
+    auto v = BitVector::fromUint64(16, 0x0FF0);
+    EXPECT_EQ(v.shiftedRight(4).toUint64(), 0x00FFu);
+}
+
+TEST(BitVector, ShiftAcrossWordBoundary)
+{
+    BitVector v(130);
+    v.set(63, true);
+    auto l = v.shiftedLeft(1);
+    EXPECT_TRUE(l.get(64));
+    EXPECT_EQ(l.popcount(), 1u);
+    auto r = l.shiftedRight(1);
+    EXPECT_TRUE(r.get(63));
+}
+
+TEST(BitVector, ShiftByWholeSizeGivesZero)
+{
+    BitVector v(70, true);
+    EXPECT_EQ(v.shiftedLeft(70).popcount(), 0u);
+    EXPECT_EQ(v.shiftedRight(70).popcount(), 0u);
+    EXPECT_EQ(v.shiftedLeft(200).popcount(), 0u);
+}
+
+TEST(BitVector, BitwiseOperators)
+{
+    auto a = BitVector::fromUint64(8, 0b11001100);
+    auto b = BitVector::fromUint64(8, 0b10101010);
+    EXPECT_EQ((a & b).toUint64(), 0b10001000u);
+    EXPECT_EQ((a | b).toUint64(), 0b11101110u);
+    EXPECT_EQ((a ^ b).toUint64(), 0b01100110u);
+    EXPECT_EQ((~a).toUint64(), 0b00110011u);
+}
+
+TEST(BitVector, NotRespectsPadding)
+{
+    BitVector v(70);
+    auto n = ~v;
+    EXPECT_EQ(n.popcount(), 70u);
+    EXPECT_TRUE(n.all());
+}
+
+TEST(BitVector, SliceAndInsert)
+{
+    auto v = BitVector::fromUint64(32, 0xDEADBEEF);
+    EXPECT_EQ(v.sliceUint64(8, 16), 0xADBEu);
+    auto s = v.slice(16, 16);
+    EXPECT_EQ(s.toUint64(), 0xDEADu);
+    BitVector w(32);
+    w.insert(16, s);
+    EXPECT_EQ(w.toUint64(), 0xDEAD0000u);
+    w.insertUint64(0, 16, 0xBEEF);
+    EXPECT_EQ(w.toUint64(), 0xDEADBEEFu);
+}
+
+TEST(BitVector, EqualityRequiresSameSize)
+{
+    BitVector a(8), b(9);
+    EXPECT_NE(a, b);
+    BitVector c(8);
+    EXPECT_EQ(a, c);
+}
+
+TEST(BitVector, FillResetsAllBits)
+{
+    BitVector v(100);
+    v.fill(true);
+    EXPECT_TRUE(v.all());
+    v.fill(false);
+    EXPECT_FALSE(v.any());
+}
+
+/** Property: shifting left then right by n restores low bits. */
+TEST(BitVectorProperty, ShiftRoundTrip)
+{
+    Rng rng(42);
+    for (int iter = 0; iter < 50; ++iter) {
+        std::size_t size = 1 + rng.nextBelow(200);
+        BitVector v(size);
+        for (std::size_t i = 0; i < size; ++i)
+            v.set(i, rng.nextBool());
+        std::size_t n = rng.nextBelow(size);
+        auto round = v.shiftedLeft(n).shiftedRight(n);
+        // High n bits are lost; low size-n bits must be intact.
+        for (std::size_t i = 0; i + n < size; ++i)
+            EXPECT_EQ(round.get(i), v.get(i)) << "bit " << i;
+        for (std::size_t i = size - n; i < size; ++i)
+            EXPECT_FALSE(round.get(i));
+    }
+}
+
+/** Property: popcount(a ^ b) == popcount(a) + popcount(b) - 2*popcount(a&b). */
+TEST(BitVectorProperty, PopcountXorIdentity)
+{
+    Rng rng(7);
+    for (int iter = 0; iter < 50; ++iter) {
+        std::size_t size = 1 + rng.nextBelow(300);
+        BitVector a(size), b(size);
+        for (std::size_t i = 0; i < size; ++i) {
+            a.set(i, rng.nextBool());
+            b.set(i, rng.nextBool());
+        }
+        EXPECT_EQ((a ^ b).popcount(),
+                  a.popcount() + b.popcount() - 2 * (a & b).popcount());
+    }
+}
+
+} // namespace
+} // namespace coruscant

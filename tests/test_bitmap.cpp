@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Bitmap-index query (Fig. 12): functional agreement across techniques
+ * and the published latency relationships.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/bitmap/bitmap_index.hpp"
+#include "util/logging.hpp"
+
+namespace coruscant {
+namespace {
+
+class BitmapQuery : public ::testing::Test
+{
+  protected:
+    BitmapQuery()
+        : db(BitmapDatabase::synthesize(1 << 17, 4, 99)), eng(db)
+    {}
+
+    BitmapDatabase db;
+    BitmapQueryEngine eng;
+};
+
+TEST_F(BitmapQuery, AllTechniquesAgreeWithGolden)
+{
+    for (std::size_t w = 2; w <= 4; ++w) {
+        std::uint64_t golden = eng.goldenCount(w);
+        EXPECT_EQ(eng.runCpuDram(w).matches, golden) << "w=" << w;
+        EXPECT_EQ(eng.runAmbit(w).matches, golden) << "w=" << w;
+        EXPECT_EQ(eng.runElp2im(w).matches, golden) << "w=" << w;
+        EXPECT_EQ(eng.runCoruscant(w).matches, golden) << "w=" << w;
+    }
+}
+
+TEST_F(BitmapQuery, MatchCountDecreasesWithMoreCriteria)
+{
+    EXPECT_GE(eng.goldenCount(2), eng.goldenCount(3));
+    EXPECT_GE(eng.goldenCount(3), eng.goldenCount(4));
+}
+
+TEST_F(BitmapQuery, CoruscantLatencyIsFlatInW)
+{
+    // The multi-operand TR makes the query latency independent of the
+    // number of criteria (up to TRD operands).
+    auto c2 = eng.runCoruscant(2).cycles;
+    auto c3 = eng.runCoruscant(3).cycles;
+    auto c4 = eng.runCoruscant(4).cycles;
+    EXPECT_EQ(c2, c3);
+    EXPECT_EQ(c3, c4);
+}
+
+TEST_F(BitmapQuery, DramPimLatencyGrowsLinearly)
+{
+    auto e2 = eng.runElp2im(2).cycles;
+    auto e4 = eng.runElp2im(4).cycles;
+    EXPECT_EQ(e4, 2 * e2);
+}
+
+TEST_F(BitmapQuery, SpeedupsOverElp2imMatchPaper)
+{
+    // Paper Sec. V-D: 1.6x, 2.2x, 3.4x for w = 2, 3, 4.
+    double r2 = static_cast<double>(eng.runElp2im(2).cycles) /
+                static_cast<double>(eng.runCoruscant(2).cycles);
+    double r3 = static_cast<double>(eng.runElp2im(3).cycles) /
+                static_cast<double>(eng.runCoruscant(3).cycles);
+    double r4 = static_cast<double>(eng.runElp2im(4).cycles) /
+                static_cast<double>(eng.runCoruscant(4).cycles);
+    EXPECT_NEAR(r2, 1.6, 0.25);
+    EXPECT_NEAR(r3, 2.2, 0.35);
+    EXPECT_NEAR(r4, 3.4, 0.45);
+    EXPECT_LT(r2, r3);
+    EXPECT_LT(r3, r4);
+}
+
+TEST_F(BitmapQuery, Elp2imBeatsAmbit)
+{
+    double ratio = static_cast<double>(eng.runAmbit(3).cycles) /
+                   static_cast<double>(eng.runElp2im(3).cycles);
+    EXPECT_NEAR(ratio, 3.2, 0.5); // published ELP2IM advantage
+}
+
+TEST_F(BitmapQuery, EveryPimTechniqueBeatsCpu)
+{
+    for (std::size_t w = 2; w <= 4; ++w) {
+        auto cpu = eng.runCpuDram(w).cycles;
+        EXPECT_LT(eng.runAmbit(w).cycles, cpu);
+        EXPECT_LT(eng.runElp2im(w).cycles, cpu);
+        EXPECT_LT(eng.runCoruscant(w).cycles, cpu);
+    }
+}
+
+TEST(BitmapQueryEdge, RejectsTooManyOperandsForTrd)
+{
+    auto db = BitmapDatabase::synthesize(1024, 4);
+    BitmapQueryEngine eng(db);
+    // w = 4 needs 5 operands; TRD = 3 cannot hold them.
+    EXPECT_THROW(eng.runCoruscant(4, 3), FatalError);
+    // But w = 2 (3 operands) fits TRD = 3.
+    EXPECT_EQ(eng.runCoruscant(2, 3).matches, eng.goldenCount(2));
+}
+
+TEST(BitmapQueryEdge, NonMultipleOfRowUsers)
+{
+    auto db = BitmapDatabase::synthesize(1000, 3, 5);
+    BitmapQueryEngine eng(db);
+    EXPECT_EQ(eng.runCoruscant(3).matches, eng.goldenCount(3));
+    EXPECT_EQ(eng.runAmbit(3).matches, eng.goldenCount(3));
+}
+
+} // namespace
+} // namespace coruscant

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * CNN network specs and the Table IV / Table VI throughput model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/cnn/throughput_model.hpp"
+#include "util/logging.hpp"
+
+namespace coruscant {
+namespace {
+
+TEST(CnnNetwork, AlexnetOpCounts)
+{
+    auto net = CnnNetwork::alexnet();
+    // Standard AlexNet: ~666M conv MACs + ~58.6M FC MACs.
+    double macs = static_cast<double>(net.totalMacs());
+    EXPECT_NEAR(macs / 1e6, 724, 10);
+}
+
+TEST(CnnNetwork, Lenet5OpCounts)
+{
+    auto net = CnnNetwork::lenet5();
+    // 117.6K + 240K + 48K conv MACs, 10.9K FC MACs.
+    EXPECT_NEAR(static_cast<double>(net.totalMacs()) / 1e3, 417, 3);
+    EXPECT_GT(net.totalPoolOps(), 0u);
+}
+
+TEST(CnnNetwork, Eq2ReductionAdds)
+{
+    // Paper Sec. IV: the first reduction step of AlexNet requires 362
+    // additions per output (conv1: (11^2-1)*3 + (3-1) = 362).
+    auto net = CnnNetwork::alexnet();
+    const auto &conv1 = net.layers[0];
+    EXPECT_EQ(conv1.reductionAdds() / conv1.outputs(), 362u);
+}
+
+TEST(CnnModel, SupportedMatrixMatchesTableIV)
+{
+    EXPECT_TRUE(CnnThroughputModel::supported(
+        CnnScheme::Spim, CnnMode::FullPrecision));
+    EXPECT_FALSE(CnnThroughputModel::supported(
+        CnnScheme::Spim, CnnMode::TernaryWeight));
+    EXPECT_TRUE(CnnThroughputModel::supported(
+        CnnScheme::Ambit, CnnMode::BinaryWeight));
+    EXPECT_FALSE(CnnThroughputModel::supported(
+        CnnScheme::Ambit, CnnMode::FullPrecision));
+    EXPECT_TRUE(CnnThroughputModel::supported(
+        CnnScheme::Coruscant7, CnnMode::TernaryWeight));
+}
+
+class CnnTable : public ::testing::Test
+{
+  protected:
+    CnnThroughputModel model;
+    CnnNetwork alexnet = CnnNetwork::alexnet();
+    CnnNetwork lenet = CnnNetwork::lenet5();
+};
+
+TEST_F(CnnTable, AnchoredCellsMatchPaperExactly)
+{
+    EXPECT_NEAR(model.fps(alexnet, CnnScheme::Coruscant7,
+                          CnnMode::FullPrecision),
+                90.5, 0.1);
+    EXPECT_NEAR(model.fps(lenet, CnnScheme::Coruscant7,
+                          CnnMode::FullPrecision),
+                163.0, 0.1);
+    EXPECT_NEAR(model.fps(alexnet, CnnScheme::Coruscant3,
+                          CnnMode::TernaryWeight),
+                358.0, 0.5);
+    EXPECT_NEAR(model.fps(lenet, CnnScheme::Coruscant3,
+                          CnnMode::TernaryWeight),
+                22172.0, 25.0);
+    EXPECT_NEAR(model.fps(alexnet, CnnScheme::Elp2Im,
+                          CnnMode::BinaryWeight),
+                253.0, 0.5);
+}
+
+TEST_F(CnnTable, TrdOrderingHoldsEverywhere)
+{
+    for (const auto *net : {&alexnet, &lenet}) {
+        for (auto mode :
+             {CnnMode::FullPrecision, CnnMode::TernaryWeight}) {
+            double c3 = model.fps(*net, CnnScheme::Coruscant3, mode);
+            double c5 = model.fps(*net, CnnScheme::Coruscant5, mode);
+            double c7 = model.fps(*net, CnnScheme::Coruscant7, mode);
+            EXPECT_LT(c3, c5) << net->name;
+            EXPECT_LT(c5, c7) << net->name;
+        }
+    }
+}
+
+TEST_F(CnnTable, EmergentFullPrecisionCellsNearPaper)
+{
+    // Paper Table IV (SPIM 32.1 / 59, CORUSCANT-5 84 / 153).
+    EXPECT_NEAR(model.fps(alexnet, CnnScheme::Spim,
+                          CnnMode::FullPrecision),
+                32.1, 3.5);
+    EXPECT_NEAR(model.fps(lenet, CnnScheme::Spim,
+                          CnnMode::FullPrecision),
+                59.0, 4.0);
+    EXPECT_NEAR(model.fps(alexnet, CnnScheme::Coruscant5,
+                          CnnMode::FullPrecision),
+                84.0, 4.0);
+    EXPECT_NEAR(model.fps(lenet, CnnScheme::Coruscant5,
+                          CnnMode::FullPrecision),
+                153.0, 6.0);
+}
+
+TEST_F(CnnTable, EmergentTernaryCellsNearPaper)
+{
+    // Paper: CORUSCANT-7 490, ELP2IM 96.4, Ambit 84.8 on AlexNet.
+    EXPECT_NEAR(model.fps(alexnet, CnnScheme::Coruscant7,
+                          CnnMode::TernaryWeight),
+                490.0, 50.0);
+    EXPECT_NEAR(model.fps(alexnet, CnnScheme::Elp2Im,
+                          CnnMode::TernaryWeight),
+                96.4, 12.0);
+    EXPECT_NEAR(model.fps(alexnet, CnnScheme::Ambit,
+                          CnnMode::TernaryWeight),
+                84.8, 15.0);
+}
+
+TEST_F(CnnTable, PaperHeadlineSpeedups)
+{
+    // CORUSCANT-3 ternary is 3.7x ELP2IM and 4.2x Ambit on AlexNet.
+    double c3 =
+        model.fps(alexnet, CnnScheme::Coruscant3,
+                  CnnMode::TernaryWeight);
+    double elp = model.fps(alexnet, CnnScheme::Elp2Im,
+                           CnnMode::TernaryWeight);
+    double ambit = model.fps(alexnet, CnnScheme::Ambit,
+                             CnnMode::TernaryWeight);
+    EXPECT_NEAR(c3 / elp, 3.7, 0.5);
+    EXPECT_NEAR(c3 / ambit, 4.2, 0.6);
+    // SPIM is 2.2-2.8x slower than CORUSCANT at full precision.
+    double c7fp = model.fps(alexnet, CnnScheme::Coruscant7,
+                            CnnMode::FullPrecision);
+    double spim = model.fps(alexnet, CnnScheme::Spim,
+                            CnnMode::FullPrecision);
+    EXPECT_NEAR(c7fp / spim, 2.8, 0.3);
+}
+
+TEST_F(CnnTable, FullPrecisionC5MatchesAmbitTernaryCuriosity)
+{
+    // Paper Sec. V-E: "CORUSCANT-5 at full precision is nearly
+    // identical to the ternary approximation using Ambit."
+    double c5fp = model.fps(alexnet, CnnScheme::Coruscant5,
+                            CnnMode::FullPrecision);
+    double ambit_twn = model.fps(alexnet, CnnScheme::Ambit,
+                                 CnnMode::TernaryWeight);
+    EXPECT_NEAR(c5fp / ambit_twn, 1.0, 0.2);
+}
+
+TEST_F(CnnTable, IsaacAnOrderOfMagnitudeBehind)
+{
+    double c7 = model.fps(alexnet, CnnScheme::Coruscant7,
+                          CnnMode::TernaryWeight);
+    double isaac = model.fps(alexnet, CnnScheme::Isaac,
+                             CnnMode::FullPrecision);
+    EXPECT_GT(c7 / isaac, 10.0);
+}
+
+TEST_F(CnnTable, NmrCostsRoughlyNTimes)
+{
+    // Paper Table VI: TMR AlexNet FP C7 = 29 (3.1x down from 90.5).
+    double tmr = model.fpsWithNmr(alexnet, CnnScheme::Coruscant7,
+                                  CnnMode::FullPrecision, 3);
+    EXPECT_NEAR(tmr, 29.0, 2.0);
+    double n5 = model.fpsWithNmr(alexnet, CnnScheme::Coruscant7,
+                                 CnnMode::FullPrecision, 5);
+    EXPECT_NEAR(n5, 17.5, 1.5);
+    double n7 = model.fpsWithNmr(alexnet, CnnScheme::Coruscant7,
+                                 CnnMode::FullPrecision, 7);
+    EXPECT_NEAR(n7, 12.5, 1.5);
+    // N must fit in the TRD.
+    EXPECT_THROW(model.fpsWithNmr(alexnet, CnnScheme::Coruscant3,
+                                  CnnMode::FullPrecision, 5),
+                 FatalError);
+}
+
+TEST_F(CnnTable, NmrStillBeatsDramPimWithoutFaultTolerance)
+{
+    // Paper Sec. V-F: ISO-area CORUSCANT with TMR is faster than
+    // Ambit and ELP2IM without fault tolerance (ternary AlexNet).
+    double tmr = model.fpsWithNmr(alexnet, CnnScheme::Coruscant7,
+                                  CnnMode::TernaryWeight, 3);
+    EXPECT_GT(tmr, model.fps(alexnet, CnnScheme::Elp2Im,
+                             CnnMode::TernaryWeight));
+    EXPECT_GT(tmr, model.fps(alexnet, CnnScheme::Ambit,
+                             CnnMode::TernaryWeight));
+}
+
+TEST_F(CnnTable, TableHelperEnumeratesCells)
+{
+    auto cells = model.table(alexnet, CnnMode::FullPrecision);
+    EXPECT_EQ(cells.size(), 5u); // SPIM, ISAAC, C3, C5, C7
+    auto twn = model.table(alexnet, CnnMode::TernaryWeight);
+    EXPECT_EQ(twn.size(), 5u); // Ambit, ELP2IM, C3, C5, C7
+    auto bwn = model.table(alexnet, CnnMode::BinaryWeight);
+    EXPECT_EQ(bwn.size(), 2u); // Ambit, ELP2IM
+}
+
+} // namespace
+} // namespace coruscant

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * cpim ISA and memory-controller end-to-end tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "controller/memory_controller.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace coruscant {
+namespace {
+
+TEST(CpimIsa, ControlWordRoundTrip)
+{
+    for (auto op : {CpimOp::And, CpimOp::Add, CpimOp::Multiply,
+                    CpimOp::Max, CpimOp::Vote, CpimOp::Copy}) {
+        for (std::uint16_t block : {8, 16, 64, 512}) {
+            CpimInstruction inst;
+            inst.op = op;
+            inst.operands = 5;
+            inst.blockSize = block;
+            auto round = CpimInstruction::unpackControl(
+                inst.packControl());
+            EXPECT_EQ(round.op, op);
+            EXPECT_EQ(round.operands, 5);
+            EXPECT_EQ(round.blockSize, block);
+        }
+    }
+}
+
+TEST(CpimIsa, ValidationRules)
+{
+    CpimInstruction inst;
+    inst.blockSize = 12; // not a power of two
+    EXPECT_FALSE(inst.validate(7).empty());
+    inst.blockSize = 4; // below ISA minimum
+    EXPECT_FALSE(inst.validate(7).empty());
+    inst.blockSize = 8;
+    inst.op = CpimOp::And;
+    inst.operands = 8; // > TRD
+    EXPECT_FALSE(inst.validate(7).empty());
+    inst.operands = 7;
+    EXPECT_TRUE(inst.validate(7).empty());
+    inst.op = CpimOp::Add;
+    inst.operands = 6; // > TRD-2
+    EXPECT_FALSE(inst.validate(7).empty());
+    inst.operands = 5;
+    EXPECT_TRUE(inst.validate(7).empty());
+    inst.op = CpimOp::Vote;
+    inst.operands = 4;
+    EXPECT_FALSE(inst.validate(7).empty());
+}
+
+class ControllerEndToEnd : public ::testing::Test
+{
+  protected:
+    ControllerEndToEnd()
+        : mem(), ctrl(mem)
+    {}
+
+    /** Write operand rows at consecutive rows of the DBC at `base`. */
+    void
+    stage(std::uint64_t base, const std::vector<BitVector> &rows)
+    {
+        for (std::size_t i = 0; i < rows.size(); ++i)
+            mem.writeLine(ctrl.operandAddress(base, i), rows[i]);
+    }
+
+    DwmMainMemory mem;
+    MemoryController ctrl;
+};
+
+TEST_F(ControllerEndToEnd, BulkAndThroughMemory)
+{
+    Rng rng(3);
+    BitVector a(512), b(512), c(512);
+    for (std::size_t i = 0; i < 512; ++i) {
+        a.set(i, rng.nextBool());
+        b.set(i, rng.nextBool());
+        c.set(i, rng.nextBool());
+    }
+    std::uint64_t src = 0x1000;
+    stage(src, {a, b, c});
+    CpimInstruction inst;
+    inst.op = CpimOp::And;
+    inst.operands = 3;
+    inst.src = src;
+    inst.dst = 0x400000;
+    auto result = ctrl.execute(inst);
+    EXPECT_EQ(result, a & b & c);
+    EXPECT_EQ(mem.readLine(inst.dst), a & b & c);
+}
+
+TEST_F(ControllerEndToEnd, PackedAdditionThroughMemory)
+{
+    // 64 packed 8-bit lanes, five operands.
+    std::vector<BitVector> ops;
+    std::vector<std::uint64_t> expect(64, 0);
+    Rng rng(9);
+    for (int i = 0; i < 5; ++i) {
+        BitVector row(512);
+        for (std::size_t lane = 0; lane < 64; ++lane) {
+            std::uint64_t v = rng.next() & 0xFF;
+            row.insertUint64(lane * 8, 8, v);
+            expect[lane] += v;
+        }
+        ops.push_back(row);
+    }
+    std::uint64_t src = 0x2000;
+    stage(src, ops);
+    CpimInstruction inst;
+    inst.op = CpimOp::Add;
+    inst.operands = 5;
+    inst.blockSize = 8;
+    inst.src = src;
+    inst.dst = 0x800000;
+    auto result = ctrl.execute(inst);
+    for (std::size_t lane = 0; lane < 64; ++lane)
+        EXPECT_EQ(result.sliceUint64(lane * 8, 8), expect[lane] & 0xFF)
+            << "lane " << lane;
+}
+
+TEST_F(ControllerEndToEnd, MultiplyThroughMemory)
+{
+    // blockSize 16 => 8-bit multiplicands in 16-bit lanes.
+    BitVector a(512), b(512);
+    Rng rng(21);
+    std::vector<std::uint64_t> av(32), bv(32);
+    for (std::size_t lane = 0; lane < 32; ++lane) {
+        av[lane] = rng.next() & 0xFF;
+        bv[lane] = rng.next() & 0xFF;
+        a.insertUint64(lane * 16, 16, av[lane]);
+        b.insertUint64(lane * 16, 16, bv[lane]);
+    }
+    std::uint64_t src = 0x3000;
+    stage(src, {a, b});
+    CpimInstruction inst;
+    inst.op = CpimOp::Multiply;
+    inst.operands = 2;
+    inst.blockSize = 16;
+    inst.src = src;
+    inst.dst = 0xC00000;
+    auto result = ctrl.execute(inst);
+    for (std::size_t lane = 0; lane < 32; ++lane)
+        EXPECT_EQ(result.sliceUint64(lane * 16, 16), av[lane] * bv[lane])
+            << "lane " << lane;
+}
+
+TEST_F(ControllerEndToEnd, MaxThroughMemory)
+{
+    std::vector<BitVector> cands;
+    std::vector<std::uint64_t> expect(64, 0);
+    Rng rng(33);
+    for (int i = 0; i < 7; ++i) {
+        BitVector row(512);
+        for (std::size_t lane = 0; lane < 64; ++lane) {
+            std::uint64_t v = rng.next() & 0xFF;
+            row.insertUint64(lane * 8, 8, v);
+            expect[lane] = std::max(expect[lane], v);
+        }
+        cands.push_back(row);
+    }
+    std::uint64_t src = 0x4000;
+    stage(src, cands);
+    CpimInstruction inst;
+    inst.op = CpimOp::Max;
+    inst.operands = 7;
+    inst.blockSize = 8;
+    inst.src = src;
+    inst.dst = 0x1000000;
+    auto result = ctrl.execute(inst);
+    for (std::size_t lane = 0; lane < 64; ++lane)
+        EXPECT_EQ(result.sliceUint64(lane * 8, 8), expect[lane])
+            << "lane " << lane;
+}
+
+TEST_F(ControllerEndToEnd, RejectsInvalidInstruction)
+{
+    CpimInstruction inst;
+    inst.op = CpimOp::Add;
+    inst.operands = 7; // > TRD - 2
+    inst.src = 0;
+    EXPECT_THROW(ctrl.execute(inst), FatalError);
+}
+
+TEST_F(ControllerEndToEnd, ChargesMemoryAndPimCosts)
+{
+    BitVector a(512, true), b(512, true);
+    std::uint64_t src = 0x5000;
+    stage(src, {a, b});
+    mem.resetCosts();
+    CpimInstruction inst;
+    inst.op = CpimOp::Or;
+    inst.operands = 2;
+    inst.src = src;
+    inst.dst = 0x2000000;
+    ctrl.execute(inst);
+    // Memory charged: 2 operand reads + 1 result write.
+    EXPECT_EQ(mem.ledger().byCategory().at("read").count, 2u);
+    EXPECT_EQ(mem.ledger().byCategory().at("write").count, 1u);
+    // PIM unit charged the TR.
+    auto src_loc = mem.addressMap().decode(src);
+    auto &unit = mem.pimUnit(src_loc.bank, src_loc.subarray);
+    EXPECT_GE(unit.ledger().byCategory().at("tr").count, 1u);
+}
+
+} // namespace
+} // namespace coruscant

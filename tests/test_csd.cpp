@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for canonical-signed-digit (Booth) recoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/csd.hpp"
+#include "util/rng.hpp"
+
+namespace coruscant {
+namespace {
+
+/** Reconstruct the value from CSD terms (wide to allow a shift-64 term). */
+std::uint64_t
+reconstruct(const std::vector<CsdTerm> &terms)
+{
+    __int128 v = 0;
+    for (const auto &t : terms)
+        v += static_cast<__int128>(t.sign)
+             * (static_cast<__int128>(1) << t.shift);
+    return static_cast<std::uint64_t>(v);
+}
+
+TEST(Csd, Zero)
+{
+    EXPECT_TRUE(csdRecode(0).empty());
+    EXPECT_EQ(csdWeight(0), 0u);
+}
+
+TEST(Csd, PowerOfTwoIsSingleTerm)
+{
+    auto terms = csdRecode(64);
+    ASSERT_EQ(terms.size(), 1u);
+    EXPECT_EQ(terms[0].sign, 1);
+    EXPECT_EQ(terms[0].shift, 6u);
+}
+
+TEST(Csd, RunOfOnesBecomesTwoTerms)
+{
+    // 15 = 16 - 1
+    auto terms = csdRecode(15);
+    ASSERT_EQ(terms.size(), 2u);
+    EXPECT_EQ(reconstruct(terms), 15u);
+    EXPECT_EQ(csdWeight(15), 2u);
+}
+
+TEST(Csd, PaperExample20061)
+{
+    // Paper Sec. III-D.1: 20061 = "100111001011101" encodes as
+    // POPOONOPONOONOP (9 ones reduced to 7 signed digits).
+    EXPECT_EQ(reconstruct(csdRecode(20061)), 20061u);
+    EXPECT_EQ(csdWeight(20061), 7u);
+    EXPECT_EQ(csdToString(20061), "POPOONOPONOONOP");
+}
+
+TEST(Csd, NonAdjacencyProperty)
+{
+    Rng rng(3);
+    for (int iter = 0; iter < 200; ++iter) {
+        std::uint64_t v = rng.next() >> rng.nextBelow(40);
+        auto terms = csdRecode(v);
+        EXPECT_EQ(reconstruct(terms), v);
+        for (std::size_t i = 1; i < terms.size(); ++i) {
+            EXPECT_GE(terms[i].shift, terms[i - 1].shift + 2)
+                << "adjacent nonzero digits for " << v;
+        }
+    }
+}
+
+TEST(Csd, WeightNeverExceedsPopcount)
+{
+    // CSD is minimal weight, so it never has more nonzero digits than
+    // the plain binary form... except for isolated ones where they tie.
+    Rng rng(11);
+    for (int iter = 0; iter < 200; ++iter) {
+        std::uint64_t v = rng.next() & 0xFFFFFFFF;
+        EXPECT_LE(csdWeight(v),
+                  static_cast<std::size_t>(__builtin_popcountll(v)) + 1);
+    }
+}
+
+TEST(Csd, AdditionStepsPowersOfTwoNeedNone)
+{
+    EXPECT_EQ(csdAdditionSteps(1, 5), 0u);
+    EXPECT_EQ(csdAdditionSteps(4096, 5), 0u);
+}
+
+TEST(Csd, AdditionStepsPaperExample)
+{
+    // The paper computes 20061 * A in two addition steps with a
+    // five-operand adder.
+    EXPECT_EQ(csdAdditionSteps(20061, 5), 2u);
+}
+
+TEST(Csd, AdditionStepsTwoOperandAdder)
+{
+    // Weight-7 constant with a 2-operand adder: 2 + 1*5 = 6 steps.
+    EXPECT_EQ(csdWeight(20061), 7u);
+    EXPECT_EQ(csdAdditionSteps(20061, 2), 6u);
+}
+
+TEST(Csd, ToStringRoundTripDigits)
+{
+    // P at MSB, O and N placed correctly: 7 = 8 - 1 -> "POON"? No:
+    // 7 = +8 -1 => digits shift3:+1, shift0:-1 => "POON".
+    EXPECT_EQ(csdToString(7), "POON");
+    EXPECT_EQ(csdToString(0), "O");
+    EXPECT_EQ(csdToString(5), "POP");
+}
+
+} // namespace
+} // namespace coruscant

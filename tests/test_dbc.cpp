@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the domain-block cluster, including the equivalence
+ * property against the reference per-wire Nanowire model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dwm/dbc.hpp"
+#include "dwm/nanowire.hpp"
+#include "util/rng.hpp"
+
+namespace coruscant {
+namespace {
+
+DeviceParams
+params(std::size_t wires = 16, std::size_t trd = 7)
+{
+    DeviceParams p = DeviceParams::withTrd(trd);
+    p.wiresPerDbc = wires;
+    return p;
+}
+
+TEST(Dbc, RowRoundTrip)
+{
+    DomainBlockCluster d(params());
+    auto row = BitVector::fromUint64(16, 0xA5C3);
+    d.pokeRow(5, row);
+    EXPECT_EQ(d.peekRow(5), row);
+    EXPECT_EQ(d.peekRow(6).popcount(), 0u);
+}
+
+TEST(Dbc, PortRowReadWrite)
+{
+    DomainBlockCluster d(params());
+    auto row = BitVector::fromUint64(16, 0x1234);
+    d.writeRowAtPort(Port::Left, row);
+    EXPECT_EQ(d.readRowAtPort(Port::Left), row);
+    EXPECT_EQ(d.peekRow(d.rowAtPort(Port::Left)), row);
+}
+
+TEST(Dbc, ShiftMovesRowsUnderPorts)
+{
+    DomainBlockCluster d(params());
+    auto row = BitVector::fromUint64(16, 0xFFFF);
+    std::size_t r = d.rowAtPort(Port::Left);
+    d.pokeRow(r, row);
+    d.shiftRight();
+    // Data moved toward the right extremity: the row previously under
+    // the left port is now one past it; row r-? under the port.
+    EXPECT_EQ(d.rowAtPort(Port::Left), r - 1);
+    EXPECT_EQ(d.peekRow(r), row); // logical row content unchanged
+}
+
+TEST(Dbc, TransverseReadPerWireCounts)
+{
+    DomainBlockCluster d(params(8, 7));
+    std::size_t ws = d.rowAtPort(Port::Left);
+    // Wire w gets w ones in the window.
+    for (std::size_t w = 0; w < 8; ++w)
+        for (std::size_t k = 0; k < w; ++k)
+            d.pokeBit(ws + k, w, true);
+    auto counts = d.transverseReadAll();
+    for (std::size_t w = 0; w < 8; ++w) {
+        EXPECT_EQ(counts[w], w);
+        EXPECT_EQ(d.transverseReadWire(w), w);
+    }
+}
+
+TEST(Dbc, TransverseWriteRowSegmentShift)
+{
+    DomainBlockCluster d(params(4, 3));
+    std::size_t ws = d.rowAtPort(Port::Left);
+    auto a = BitVector::fromUint64(4, 0b0001);
+    auto b = BitVector::fromUint64(4, 0b0010);
+    auto c = BitVector::fromUint64(4, 0b0100);
+    d.pokeRow(ws + 0, a);
+    d.pokeRow(ws + 1, b);
+    d.pokeRow(ws + 2, c);
+    auto x = BitVector::fromUint64(4, 0b1111);
+    d.transverseWriteRow(x);
+    EXPECT_EQ(d.peekRow(ws + 0), x);
+    EXPECT_EQ(d.peekRow(ws + 1), a);
+    EXPECT_EQ(d.peekRow(ws + 2), b); // c pushed out
+}
+
+TEST(Dbc, TransverseWriteWireTouchesOneWire)
+{
+    DomainBlockCluster d(params(4, 3));
+    std::size_t ws = d.rowAtPort(Port::Left);
+    d.pokeRow(ws, BitVector::fromUint64(4, 0b1111));
+    d.transverseWriteWire(2, false);
+    EXPECT_EQ(d.peekRow(ws).toUint64(), 0b1011u);
+    EXPECT_EQ(d.peekRow(ws + 1).toUint64(), 0b0100u); // old bit moved up
+}
+
+/**
+ * Property: a DBC behaves exactly like an array of independent
+ * nanowires driven in lockstep, for a random sequence of operations.
+ */
+TEST(DbcProperty, EquivalentToNanowireArray)
+{
+    const std::size_t wires = 8;
+    DeviceParams p = params(wires, 7);
+    DeviceParams p1 = p;
+    p1.wiresPerDbc = 1;
+
+    DomainBlockCluster dbc(p);
+    std::vector<Nanowire> ref;
+    for (std::size_t w = 0; w < wires; ++w)
+        ref.emplace_back(p1);
+
+    Rng rng(2024);
+    // Random initial contents.
+    for (std::size_t r = 0; r < p.domainsPerWire; ++r) {
+        for (std::size_t w = 0; w < wires; ++w) {
+            bool b = rng.nextBool();
+            dbc.pokeBit(r, w, b);
+            ref[w].pokeRow(r, b);
+        }
+    }
+
+    for (int step = 0; step < 500; ++step) {
+        switch (rng.nextBelow(6)) {
+          case 0:
+            if (dbc.canShiftLeft()) {
+                dbc.shiftLeft();
+                for (auto &n : ref)
+                    n.shiftLeft();
+            }
+            break;
+          case 1:
+            if (dbc.canShiftRight()) {
+                dbc.shiftRight();
+                for (auto &n : ref)
+                    n.shiftRight();
+            }
+            break;
+          case 2: {
+            Port port = rng.nextBool() ? Port::Left : Port::Right;
+            BitVector row(wires);
+            for (std::size_t w = 0; w < wires; ++w)
+                row.set(w, rng.nextBool());
+            dbc.writeRowAtPort(port, row);
+            for (std::size_t w = 0; w < wires; ++w)
+                ref[w].writeAtPort(port, row.get(w));
+            break;
+          }
+          case 3: {
+            BitVector row(wires);
+            for (std::size_t w = 0; w < wires; ++w)
+                row.set(w, rng.nextBool());
+            dbc.transverseWriteRow(row);
+            for (std::size_t w = 0; w < wires; ++w)
+                ref[w].transverseWrite(row.get(w));
+            break;
+          }
+          case 4: {
+            auto counts = dbc.transverseReadAll();
+            for (std::size_t w = 0; w < wires; ++w)
+                ASSERT_EQ(counts[w], ref[w].transverseRead())
+                    << "step " << step << " wire " << w;
+            break;
+          }
+          case 5: {
+            Port port = rng.nextBool() ? Port::Left : Port::Right;
+            auto row = dbc.readRowAtPort(port);
+            for (std::size_t w = 0; w < wires; ++w)
+                ASSERT_EQ(row.get(w), ref[w].readAtPort(port));
+            break;
+          }
+        }
+    }
+
+    // Final state comparison.
+    ASSERT_EQ(dbc.shiftOffset(), ref[0].shiftOffset());
+    for (std::size_t r = 0; r < p.domainsPerWire; ++r)
+        for (std::size_t w = 0; w < wires; ++w)
+            ASSERT_EQ(dbc.peekBit(r, w), ref[w].peekRow(r))
+                << "row " << r << " wire " << w;
+}
+
+} // namespace
+} // namespace coruscant

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Bit-slice DRAM PIM addition (the DrAcc adder) and the CORUSCANT
+ * comparison the paper's Sec. IV makes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/dram_adder.hpp"
+#include "core/op_cost.hpp"
+#include "util/rng.hpp"
+
+namespace coruscant {
+namespace {
+
+TEST(BitSlice, PackUnpackRoundTrip)
+{
+    Rng rng(2);
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 100; ++i)
+        values.push_back(rng.next() & 0xFFFF);
+    auto op = BitSliceOperand::pack(values, 16, 128);
+    ASSERT_EQ(op.bits(), 16u);
+    for (std::size_t i = 0; i < values.size(); ++i)
+        EXPECT_EQ(op.unpack(i), values[i]);
+}
+
+class DramAdderTest : public ::testing::TestWithParam<bool>
+{
+  protected:
+    std::unique_ptr<DramPimUnit>
+    make(std::size_t bits)
+    {
+        if (GetParam())
+            return std::make_unique<AmbitUnit>(bits);
+        return std::make_unique<Elp2ImUnit>(bits);
+    }
+};
+
+TEST_P(DramAdderTest, PackedAdditionIsExact)
+{
+    auto unit = make(256);
+    DramBitSliceAdder adder(*unit);
+    Rng rng(7);
+    std::vector<std::uint64_t> av, bv;
+    for (int i = 0; i < 256; ++i) {
+        av.push_back(rng.next() & 0xFF);
+        bv.push_back(rng.next() & 0xFF);
+    }
+    auto a = BitSliceOperand::pack(av, 8, 256);
+    auto b = BitSliceOperand::pack(bv, 8, 256);
+    auto s = adder.add(a, b);
+    for (std::size_t i = 0; i < av.size(); ++i)
+        EXPECT_EQ(s.unpack(i), (av[i] + bv[i]) & 0xFF) << i;
+}
+
+TEST_P(DramAdderTest, OpCountMatchesEq3)
+{
+    auto unit = make(64);
+    DramBitSliceAdder adder(*unit);
+    auto a = BitSliceOperand::pack({1, 2, 3}, 8, 64);
+    auto b = BitSliceOperand::pack({4, 5, 6}, 8, 64);
+    unit->resetCosts();
+    adder.add(a, b);
+    // 5 ops/bit - 3 = 37 bulk ops for 8 bits.
+    std::uint64_t ops = 0;
+    for (const auto &[k, v] : unit->ledger().byCategory())
+        ops += v.count;
+    // Each bulk2 may issue several commands; count operations via the
+    // static formula instead and check the ledger is non-trivial.
+    EXPECT_EQ(DramBitSliceAdder::opsPerAddition(8), 37u);
+    EXPECT_GT(ops, 37u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothUnits, DramAdderTest,
+                         ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool> &i) {
+                             return i.param ? "Ambit" : "Elp2Im";
+                         });
+
+TEST(DramAdder, CoruscantAdditionStepIsFarCheaper)
+{
+    // Paper Sec. IV: one DRAM addition step costs ~40 ELP2IM cycles
+    // per value-independent step, while CORUSCANT's five-operand add
+    // costs 26 device cycles and its 7->3 reduction only 4.
+    Elp2ImUnit elp(256);
+    DramBitSliceAdder adder(elp);
+    auto a = BitSliceOperand::pack({100}, 8, 256);
+    auto b = BitSliceOperand::pack({55}, 8, 256);
+    elp.resetCosts();
+    adder.add(a, b);
+    auto dram_cycles = elp.ledger().cycles();
+    CoruscantCostModel c7(7);
+    EXPECT_GT(dram_cycles, 10 * c7.add(2, 8).cycles);
+    EXPECT_GT(dram_cycles, 100 * c7.reduce().cycles);
+}
+
+TEST(DramAdder, WidthIndependentOfPackedCount)
+{
+    // The whole point of bulk PIM: cost does not grow with how many
+    // values are packed in the row.
+    Elp2ImUnit elp(4096);
+    DramBitSliceAdder adder(elp);
+    auto few_a = BitSliceOperand::pack({1, 2}, 8, 4096);
+    auto few_b = BitSliceOperand::pack({3, 4}, 8, 4096);
+    elp.resetCosts();
+    adder.add(few_a, few_b);
+    auto few = elp.ledger().cycles();
+
+    std::vector<std::uint64_t> many(4096, 77);
+    auto many_a = BitSliceOperand::pack(many, 8, 4096);
+    auto many_b = BitSliceOperand::pack(many, 8, 4096);
+    elp.resetCosts();
+    adder.add(many_a, many_b);
+    EXPECT_EQ(few, elp.ledger().cycles());
+}
+
+} // namespace
+} // namespace coruscant

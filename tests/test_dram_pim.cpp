@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Ambit and ELP2IM functional and cost tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/dram_pim.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace coruscant {
+namespace {
+
+BitVector
+randomRow(Rng &rng, std::size_t width)
+{
+    BitVector row(width);
+    for (std::size_t w = 0; w < width; ++w)
+        row.set(w, rng.nextBool());
+    return row;
+}
+
+TEST(DramSubarray, TripleRowActivateIsDestructiveMajority)
+{
+    DramSubarray s(4, 8);
+    s.setRow(0, BitVector::fromUint64(8, 0b11001100));
+    s.setRow(1, BitVector::fromUint64(8, 0b10101010));
+    s.setRow(2, BitVector::fromUint64(8, 0b11110000));
+    auto maj = s.tripleRowActivate(0, 1, 2);
+    EXPECT_EQ(maj.toUint64(), 0b11101000u);
+    // Destructive: all three rows now hold the majority.
+    EXPECT_EQ(s.row(0).toUint64(), 0b11101000u);
+    EXPECT_EQ(s.row(1).toUint64(), 0b11101000u);
+    EXPECT_EQ(s.row(2).toUint64(), 0b11101000u);
+}
+
+TEST(DramSubarray, RowCloneAndDcc)
+{
+    DramSubarray s(4, 8);
+    s.setRow(0, BitVector::fromUint64(8, 0xA5));
+    s.rowClone(0, 3);
+    EXPECT_EQ(s.row(3).toUint64(), 0xA5u);
+    EXPECT_EQ(s.readInverted(3).toUint64(), 0x5Au);
+}
+
+class DramPimFunctional
+    : public ::testing::TestWithParam<bool> // true = Ambit
+{
+  protected:
+    std::unique_ptr<DramPimUnit>
+    make(std::size_t bits)
+    {
+        if (GetParam())
+            return std::make_unique<AmbitUnit>(bits);
+        return std::make_unique<Elp2ImUnit>(bits);
+    }
+};
+
+TEST_P(DramPimFunctional, TwoOperandTruthTables)
+{
+    auto unit = make(64);
+    Rng rng(17);
+    for (int iter = 0; iter < 20; ++iter) {
+        auto a = randomRow(rng, 64);
+        auto b = randomRow(rng, 64);
+        EXPECT_EQ(unit->bulk2(BulkOp::And, a, b), a & b);
+        EXPECT_EQ(unit->bulk2(BulkOp::Or, a, b), a | b);
+        EXPECT_EQ(unit->bulk2(BulkOp::Xor, a, b), a ^ b);
+        EXPECT_EQ(unit->bulk2(BulkOp::Nand, a, b), ~(a & b));
+        EXPECT_EQ(unit->bulk2(BulkOp::Nor, a, b), ~(a | b));
+        EXPECT_EQ(unit->bulk2(BulkOp::Xnor, a, b), ~(a ^ b));
+        EXPECT_EQ(unit->bulkNot(a), ~a);
+    }
+}
+
+TEST_P(DramPimFunctional, MultiOperandComposition)
+{
+    auto unit = make(32);
+    Rng rng(23);
+    std::vector<BitVector> ops;
+    for (int i = 0; i < 5; ++i)
+        ops.push_back(randomRow(rng, 32));
+    BitVector and_all = ops[0];
+    BitVector xor_all = ops[0];
+    for (int i = 1; i < 5; ++i) {
+        and_all &= ops[i];
+        xor_all ^= ops[i];
+    }
+    EXPECT_EQ(unit->bulkMulti(BulkOp::And, ops), and_all);
+    EXPECT_EQ(unit->bulkMulti(BulkOp::Xor, ops), xor_all);
+    EXPECT_EQ(unit->bulkMulti(BulkOp::Nand, ops), ~and_all);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothDesigns, DramPimFunctional,
+                         ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool> &i) {
+                             return i.param ? "Ambit" : "Elp2Im";
+                         });
+
+TEST(DramPimCosts, Elp2ImFasterThanAmbit)
+{
+    // ELP2IM's published advantage is ~3.2x over Ambit for bitmap-scan
+    // style two-operand operations.
+    AmbitUnit ambit(64);
+    Elp2ImUnit elp(64);
+    BitVector a(64, true), b(64, true);
+    ambit.bulk2(BulkOp::And, a, b);
+    elp.bulk2(BulkOp::And, a, b);
+    double ratio = static_cast<double>(ambit.ledger().cycles()) /
+                   static_cast<double>(elp.ledger().cycles());
+    EXPECT_GT(ratio, 2.8);
+    EXPECT_LT(ratio, 3.8);
+}
+
+TEST(DramPimCosts, AmbitAapCounts)
+{
+    EXPECT_EQ(AmbitUnit::aapCount(BulkOp::And), 4u);
+    EXPECT_EQ(AmbitUnit::aapCount(BulkOp::Nor), 5u);
+    EXPECT_EQ(AmbitUnit::aapCount(BulkOp::Xor), 7u);
+    EXPECT_EQ(AmbitUnit::aapCount(BulkOp::Not), 3u);
+    EXPECT_THROW(AmbitUnit::aapCount(BulkOp::Maj), FatalError);
+}
+
+TEST(DramPimCosts, MultiOperandCostGrowsLinearly)
+{
+    // k-operand AND costs (k-1) two-operand steps in DRAM PIM — the
+    // contrast with CORUSCANT's single TR.
+    Elp2ImUnit elp(64);
+    std::vector<BitVector> ops(5, BitVector(64, true));
+    elp.bulkMulti(BulkOp::And, ops);
+    auto c5 = elp.ledger().cycles();
+    elp.resetCosts();
+    std::vector<BitVector> ops2(2, BitVector(64, true));
+    elp.bulkMulti(BulkOp::And, ops2);
+    auto c2 = elp.ledger().cycles();
+    EXPECT_EQ(c5, 4 * c2);
+}
+
+} // namespace
+} // namespace coruscant

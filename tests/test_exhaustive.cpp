@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Exhaustive small-width sweeps: every input combination of 4-bit
+ * multiplication and 3-operand 4-bit addition, across TRD values —
+ * leaves no corner of the arithmetic untested.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/coruscant_unit.hpp"
+
+namespace coruscant {
+namespace {
+
+DeviceParams
+params(std::size_t trd, std::size_t wires)
+{
+    DeviceParams p = DeviceParams::withTrd(trd);
+    p.wiresPerDbc = wires;
+    return p;
+}
+
+class ExhaustiveMul : public ::testing::TestWithParam<
+                          std::tuple<std::size_t, MulStrategy>>
+{};
+
+TEST_P(ExhaustiveMul, AllFourBitPairs)
+{
+    auto [trd, strategy] = GetParam();
+    CoruscantUnit unit(params(trd, 8));
+    for (std::uint64_t a = 0; a < 16; ++a) {
+        for (std::uint64_t b = 0; b < 16; ++b) {
+            auto prod = unit.multiply(BitVector::fromUint64(8, a),
+                                      BitVector::fromUint64(8, b), 4,
+                                      strategy);
+            ASSERT_EQ(prod.toUint64(), a * b)
+                << a << " * " << b << " trd=" << trd;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTrds, ExhaustiveMul,
+    ::testing::Combine(::testing::Values(3u, 4u, 5u, 6u, 7u),
+                       ::testing::Values(MulStrategy::OptimizedCsa,
+                                         MulStrategy::Arbitrary)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<std::size_t, MulStrategy>> &info) {
+        return "trd" + std::to_string(std::get<0>(info.param)) +
+               (std::get<1>(info.param) == MulStrategy::OptimizedCsa
+                    ? "_csa"
+                    : "_arb");
+    });
+
+class ExhaustiveAdd : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(ExhaustiveAdd, AllThreeOperandFourBitCombos)
+{
+    std::size_t trd = GetParam();
+    CoruscantUnit unit(params(trd, 8));
+    std::size_t arity = unit.params().maxAddOperands();
+    if (arity < 3)
+        GTEST_SKIP() << "TRD " << trd << " adder is two-operand";
+    // Sum in an 8-bit block so no truncation occurs.
+    for (std::uint64_t a = 0; a < 16; ++a) {
+        for (std::uint64_t b = 0; b < 16; ++b) {
+            for (std::uint64_t c = 0; c < 16; ++c) {
+                auto sum = unit.add({BitVector::fromUint64(8, a),
+                                     BitVector::fromUint64(8, b),
+                                     BitVector::fromUint64(8, c)},
+                                    8);
+                ASSERT_EQ(sum.toUint64(), a + b + c)
+                    << a << "+" << b << "+" << c;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTrds, ExhaustiveAdd,
+                         ::testing::Values(3u, 5u, 7u),
+                         [](const ::testing::TestParamInfo<std::size_t>
+                                &info) {
+                             return "trd" + std::to_string(info.param);
+                         });
+
+TEST(ExhaustiveAdd, AllTwoOperandFiveBitPairsTrd3)
+{
+    CoruscantUnit unit(params(3, 8));
+    for (std::uint64_t a = 0; a < 32; ++a) {
+        for (std::uint64_t b = 0; b < 32; ++b) {
+            auto sum = unit.add({BitVector::fromUint64(8, a),
+                                 BitVector::fromUint64(8, b)},
+                                8);
+            ASSERT_EQ(sum.toUint64(), a + b) << a << "+" << b;
+        }
+    }
+}
+
+TEST(ExhaustiveBulk, AllThreeOperandBitPatterns)
+{
+    // Every 3-operand column pattern (each wire independently draws
+    // all 8 combinations) for every op at every TRD.
+    for (std::size_t trd : {3u, 5u, 7u}) {
+        CoruscantUnit unit(params(trd, 8));
+        // Wire w gets pattern w (bit0->op0, bit1->op1, bit2->op2).
+        BitVector r0(8), r1(8), r2(8);
+        for (std::size_t w = 0; w < 8; ++w) {
+            r0.set(w, w & 1);
+            r1.set(w, w & 2);
+            r2.set(w, w & 4);
+        }
+        auto and_r = unit.bulkBitwise(BulkOp::And, {r0, r1, r2});
+        auto or_r = unit.bulkBitwise(BulkOp::Or, {r0, r1, r2});
+        auto xor_r = unit.bulkBitwise(BulkOp::Xor, {r0, r1, r2});
+        for (std::size_t w = 0; w < 8; ++w) {
+            bool a = w & 1, b = w & 2, c = w & 4;
+            EXPECT_EQ(and_r.get(w), a && b && c) << w;
+            EXPECT_EQ(or_r.get(w), a || b || c) << w;
+            EXPECT_EQ(xor_r.get(w), (a ^ b ^ c) != 0) << w;
+        }
+    }
+}
+
+TEST(ExhaustiveMax, AllTwoCandidateFourBitPairs)
+{
+    CoruscantUnit unit(params(7, 4));
+    for (std::uint64_t a = 0; a < 16; ++a) {
+        for (std::uint64_t b = 0; b < 16; ++b) {
+            auto mx = unit.maxOfRows({BitVector::fromUint64(4, a),
+                                      BitVector::fromUint64(4, b)},
+                                     4);
+            ASSERT_EQ(mx.toUint64(), std::max(a, b))
+                << "max(" << a << "," << b << ")";
+        }
+    }
+}
+
+} // namespace
+} // namespace coruscant

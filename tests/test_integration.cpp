@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Cross-module integration and property tests: controller fuzzing,
+ * add/reduce algebraic equivalence, interleave policies, and memory
+ * stress.
+ */
+
+#include <gtest/gtest.h>
+
+#include "controller/memory_controller.hpp"
+#include "util/rng.hpp"
+
+namespace coruscant {
+namespace {
+
+/** Property: reduce followed by add equals direct multi-operand add. */
+TEST(Integration, ReduceThenAddEqualsDirectAdd)
+{
+    DeviceParams p = DeviceParams::withTrd(7);
+    p.wiresPerDbc = 64;
+    CoruscantUnit unit(p);
+    Rng rng(8);
+    for (int iter = 0; iter < 20; ++iter) {
+        std::vector<BitVector> rows;
+        for (int i = 0; i < 7; ++i) {
+            BitVector row(64);
+            for (std::size_t w = 0; w < 64; ++w)
+                row.set(w, rng.nextBool());
+            rows.push_back(std::move(row));
+        }
+        // Path A: 7->3 reduction then 3-operand add.
+        auto red = unit.reduce(rows, 16);
+        auto via_reduce = unit.add(
+            {red.sum, red.carry, red.superCarry}, 16);
+        // Path B: two grouped adds (5 + running total + 2).
+        auto first = unit.add({rows[0], rows[1], rows[2], rows[3],
+                               rows[4]},
+                              16);
+        auto direct = unit.add({first, rows[5], rows[6]}, 16);
+        EXPECT_EQ(via_reduce, direct) << "iter " << iter;
+    }
+}
+
+/** Fuzz: random valid cpim programs vs. a software model. */
+TEST(Integration, ControllerFuzzAgainstSoftwareModel)
+{
+    DwmMainMemory mem;
+    MemoryController ctrl(mem);
+    Rng rng(4242);
+
+    for (int iter = 0; iter < 40; ++iter) {
+        // Random operation and operands.
+        int which = static_cast<int>(rng.nextBelow(4));
+        std::size_t m;
+        CpimInstruction inst;
+        inst.blockSize = 8;
+        switch (which) {
+          case 0:
+            inst.op = CpimOp::And;
+            m = 2 + rng.nextBelow(6);
+            break;
+          case 1:
+            inst.op = CpimOp::Xor;
+            m = 2 + rng.nextBelow(6);
+            break;
+          case 2:
+            inst.op = CpimOp::Add;
+            m = 2 + rng.nextBelow(4);
+            break;
+          default:
+            inst.op = CpimOp::Max;
+            m = 2 + rng.nextBelow(6);
+            break;
+        }
+        inst.operands = static_cast<std::uint8_t>(m);
+        inst.src = (rng.nextBelow(1 << 12)) * 64;
+        inst.dst = (1ull << 25) + iter * 64;
+
+        std::vector<BitVector> ops;
+        for (std::size_t i = 0; i < m; ++i) {
+            BitVector row(512);
+            for (std::size_t w = 0; w < 512; ++w)
+                row.set(w, rng.nextBool());
+            mem.writeLine(ctrl.operandAddress(inst.src, i), row);
+            ops.push_back(std::move(row));
+        }
+
+        auto result = ctrl.execute(inst);
+
+        // Software model.
+        BitVector expect(512);
+        if (inst.op == CpimOp::And || inst.op == CpimOp::Xor) {
+            expect = ops[0];
+            for (std::size_t i = 1; i < m; ++i) {
+                if (inst.op == CpimOp::And)
+                    expect &= ops[i];
+                else
+                    expect ^= ops[i];
+            }
+        } else if (inst.op == CpimOp::Add) {
+            for (std::size_t l = 0; l < 64; ++l) {
+                std::uint64_t s = 0;
+                for (std::size_t i = 0; i < m; ++i)
+                    s += ops[i].sliceUint64(l * 8, 8);
+                expect.insertUint64(l * 8, 8, s & 0xFF);
+            }
+        } else {
+            for (std::size_t l = 0; l < 64; ++l) {
+                std::uint64_t mx = 0;
+                for (std::size_t i = 0; i < m; ++i)
+                    mx = std::max(mx, ops[i].sliceUint64(l * 8, 8));
+                expect.insertUint64(l * 8, 8, mx);
+            }
+        }
+        ASSERT_EQ(result, expect)
+            << "iter " << iter << " op " << cpimOpName(inst.op)
+            << " m=" << m;
+        ASSERT_EQ(mem.readLine(inst.dst), expect);
+    }
+}
+
+TEST(Integration, RowFirstInterleaveRoundTrips)
+{
+    MemoryConfig cfg;
+    cfg.interleave = Interleave::RowFirst;
+    AddressMap amap(cfg);
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        std::uint64_t addr =
+            (rng.next() % cfg.capacityBytes()) & ~63ull;
+        EXPECT_EQ(amap.encode(amap.decode(addr)), addr);
+    }
+    // Consecutive lines walk rows of one DBC.
+    auto a = amap.decode(0);
+    auto b = amap.decode(64);
+    EXPECT_EQ(a.bank, b.bank);
+    EXPECT_EQ(a.dbc, b.dbc);
+    EXPECT_EQ(b.row, a.row + 1);
+}
+
+TEST(Integration, RowFirstReducesSequentialShifts)
+{
+    auto shifts = [](Interleave il) {
+        MemoryConfig cfg;
+        cfg.interleave = il;
+        DwmMainMemory mem(cfg);
+        for (std::uint64_t i = 0; i < 2000; ++i)
+            mem.readLine(i * 64);
+        return mem.totalShifts();
+    };
+    EXPECT_LT(shifts(Interleave::RowFirst),
+              shifts(Interleave::BankFirst) / 2);
+}
+
+TEST(Integration, MemoryStressManyDbcs)
+{
+    DwmMainMemory mem;
+    Rng rng(6);
+    std::vector<std::pair<std::uint64_t, BitVector>> writes;
+    for (int i = 0; i < 300; ++i) {
+        std::uint64_t addr =
+            (rng.next() % mem.config().capacityBytes()) & ~63ull;
+        BitVector row(512);
+        for (int b = 0; b < 16; ++b)
+            row.set(rng.nextBelow(512), true);
+        mem.writeLine(addr, row);
+        writes.emplace_back(addr, std::move(row));
+    }
+    // Later writes to the same address win; verify final state.
+    for (auto it = writes.rbegin(); it != writes.rend(); ++it) {
+        bool overwritten = false;
+        for (auto jt = writes.rbegin(); jt != it; ++jt)
+            if (jt->first == it->first)
+                overwritten = true;
+        if (!overwritten) {
+            EXPECT_EQ(mem.readLine(it->first), it->second);
+        }
+    }
+    EXPECT_LE(mem.touchedDbcs(), 300u);
+}
+
+TEST(Integration, BulkTwStagingSavesCycles)
+{
+    DeviceParams p = DeviceParams::withTrd(7);
+    p.wiresPerDbc = 64;
+    CoruscantUnit unit(p);
+    std::vector<BitVector> ops(4, BitVector(64, true));
+    unit.resetCosts();
+    auto plain = unit.bulkBitwise(BulkOp::And, ops);
+    auto plain_cycles = unit.ledger().cycles();
+    unit.resetCosts();
+    auto tw = unit.bulkBitwise(BulkOp::And, ops, 0, false, true);
+    auto tw_cycles = unit.ledger().cycles();
+    EXPECT_EQ(plain, tw);
+    EXPECT_EQ(tw_cycles + ops.size(), plain_cycles);
+}
+
+} // namespace
+} // namespace coruscant

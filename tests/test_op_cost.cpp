@@ -1,0 +1,83 @@
+/**
+ * @file
+ * CoruscantCostModel: the single source of truth for operation costs
+ * used by every system-level model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/op_cost.hpp"
+
+namespace coruscant {
+namespace {
+
+TEST(OpCost, PinnedTableIIIValues)
+{
+    CoruscantCostModel c7(7), c3(3);
+    EXPECT_EQ(c7.add(5, 8).cycles, 26u);
+    EXPECT_EQ(c7.add(2, 8).cycles, 26u);
+    EXPECT_EQ(c3.add(2, 8).cycles, 19u);
+    EXPECT_EQ(c7.multiply(8).cycles, 64u);
+    EXPECT_NEAR(c7.add(5, 8).energyPj, 22.14, 0.01);
+    EXPECT_NEAR(c3.add(2, 8).energyPj, 10.15, 0.01);
+}
+
+TEST(OpCost, ReductionIsFourCycles)
+{
+    EXPECT_EQ(CoruscantCostModel(7).reduce().cycles, 4u);
+    EXPECT_EQ(CoruscantCostModel(3).reduce().cycles, 3u);
+}
+
+TEST(OpCost, AddScalesLinearlyInBlockSize)
+{
+    CoruscantCostModel c7(7);
+    auto c8 = c7.add(5, 8).cycles;
+    auto c16 = c7.add(5, 16).cycles;
+    auto c32 = c7.add(5, 32).cycles;
+    // Setup constant (10), loop 2 cycles/bit.
+    EXPECT_EQ(c16 - c8, 16u);
+    EXPECT_EQ(c32 - c16, 32u);
+}
+
+TEST(OpCost, MultiplyScalesLinearlyAtTrd7)
+{
+    // The O(n) claim at the cost-model level: cycles/bit bounded.
+    CoruscantCostModel c7(7);
+    double per8 = static_cast<double>(c7.multiply(8).cycles) / 8;
+    double per32 = static_cast<double>(c7.multiply(32).cycles) / 32;
+    EXPECT_LT(per32, per8 * 1.6);
+}
+
+TEST(OpCost, BulkConstantInOperands)
+{
+    CoruscantCostModel c7(7);
+    // One TR regardless of operand count; staging grows linearly.
+    auto c2 = c7.bulkBitwise(2).cycles;
+    auto c7ops = c7.bulkBitwise(7).cycles;
+    EXPECT_EQ(c7ops - c2, 2u * 5u); // 5 extra operands x (write+shift)
+}
+
+TEST(OpCost, MaxTwCheaperThanShift)
+{
+    CoruscantCostModel c7(7);
+    EXPECT_LT(c7.max(7, 8, true).cycles,
+              c7.max(7, 8, false).cycles);
+}
+
+TEST(OpCost, NmrVoteConstant)
+{
+    CoruscantCostModel c7(7);
+    EXPECT_EQ(c7.nmrVote(3).cycles, c7.nmrVote(7).cycles);
+}
+
+TEST(OpCost, EnergyMonotoneInTrd)
+{
+    // Larger windows drive more current per TR.
+    EXPECT_LT(CoruscantCostModel(3).add(2, 8).energyPj,
+              CoruscantCostModel(5).add(2, 8).energyPj);
+    EXPECT_LT(CoruscantCostModel(5).add(2, 8).energyPj,
+              CoruscantCostModel(7).add(2, 8).energyPj);
+}
+
+} // namespace
+} // namespace coruscant

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Functional CNN layers through the PIM ops vs. integer references.
+ */
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "apps/cnn/pim_executor.hpp"
+#include "util/rng.hpp"
+
+namespace coruscant {
+namespace {
+
+std::int8_t
+randomInt8(Rng &rng)
+{
+    return static_cast<std::int8_t>(
+        static_cast<int>(rng.nextBelow(255)) - 127);
+}
+
+TEST(PimExecutor, DotProductMatchesReference)
+{
+    PimCnnExecutor exec;
+    Rng rng(4);
+    for (int iter = 0; iter < 10; ++iter) {
+        std::size_t n = 1 + rng.nextBelow(100);
+        std::vector<std::int8_t> a(n), b(n);
+        std::int32_t expect = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            a[i] = randomInt8(rng);
+            b[i] = randomInt8(rng);
+            expect += static_cast<std::int32_t>(a[i]) * b[i];
+        }
+        EXPECT_EQ(exec.dotProduct(a, b), expect) << "n=" << n;
+    }
+}
+
+TEST(PimExecutor, DotProductEdgeCases)
+{
+    PimCnnExecutor exec;
+    EXPECT_EQ(exec.dotProduct({0}, {0}), 0);
+    EXPECT_EQ(exec.dotProduct({-127}, {-127}), 127 * 127);
+    EXPECT_EQ(exec.dotProduct({-127}, {127}), -127 * 127);
+    std::vector<std::int8_t> ones(64, 1), neg(64, -1);
+    EXPECT_EQ(exec.dotProduct(ones, neg), -64);
+}
+
+TEST(PimExecutor, Conv2dMatchesReference)
+{
+    PimCnnExecutor exec;
+    Rng rng(11);
+    IntTensor input(6, 6, 2);
+    for (auto &v : input.data)
+        v = randomInt8(rng);
+    std::vector<IntTensor> kernels;
+    for (int oc = 0; oc < 3; ++oc) {
+        IntTensor k(3, 3, 2);
+        for (auto &v : k.data)
+            v = randomInt8(rng);
+        kernels.push_back(std::move(k));
+    }
+    std::vector<std::int32_t> bias = {5, -7, 0};
+    auto out = exec.conv2d(input, kernels, bias);
+    ASSERT_EQ(out.h, 4u);
+    ASSERT_EQ(out.w, 4u);
+    ASSERT_EQ(out.c, 3u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = 0; j < 4; ++j) {
+            for (std::size_t oc = 0; oc < 3; ++oc) {
+                std::int32_t expect = bias[oc];
+                for (std::size_t ki = 0; ki < 3; ++ki)
+                    for (std::size_t kj = 0; kj < 3; ++kj)
+                        for (std::size_t c = 0; c < 2; ++c)
+                            expect += input.at(i + ki, j + kj, c) *
+                                      kernels[oc].at(ki, kj, c);
+                EXPECT_EQ(out.at(i, j, oc), expect)
+                    << i << "," << j << "," << oc;
+            }
+        }
+    }
+}
+
+TEST(PimExecutor, MaxPool2x2)
+{
+    PimCnnExecutor exec;
+    Rng rng(7);
+    IntTensor input(6, 6, 3);
+    for (auto &v : input.data)
+        v = static_cast<std::int32_t>(rng.nextBelow(1 << 14));
+    auto out = exec.maxPool(input, 2);
+    ASSERT_EQ(out.h, 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+            for (std::size_t c = 0; c < 3; ++c) {
+                std::int32_t expect = 0;
+                for (std::size_t pi = 0; pi < 2; ++pi)
+                    for (std::size_t pj = 0; pj < 2; ++pj)
+                        expect = std::max(expect,
+                                          input.at(2 * i + pi,
+                                                   2 * j + pj, c));
+                EXPECT_EQ(out.at(i, j, c), expect);
+            }
+        }
+    }
+}
+
+TEST(PimExecutor, MaxPool3x3NeedsCandidateChunking)
+{
+    // 9 candidates exceed TRD = 7: exercises hierarchical max.
+    PimCnnExecutor exec;
+    Rng rng(13);
+    IntTensor input(9, 9, 1);
+    for (auto &v : input.data)
+        v = static_cast<std::int32_t>(rng.nextBelow(60000));
+    auto out = exec.maxPool(input, 3);
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+            std::int32_t expect = 0;
+            for (std::size_t pi = 0; pi < 3; ++pi)
+                for (std::size_t pj = 0; pj < 3; ++pj)
+                    expect = std::max(expect,
+                                      input.at(3 * i + pi, 3 * j + pj,
+                                               0));
+            EXPECT_EQ(out.at(i, j, 0), expect);
+        }
+    }
+}
+
+TEST(PimExecutor, FullyConnectedMatchesReference)
+{
+    PimCnnExecutor exec;
+    Rng rng(17);
+    std::vector<std::int8_t> x(20);
+    for (auto &v : x)
+        v = randomInt8(rng);
+    std::vector<std::vector<std::int8_t>> w(5,
+                                            std::vector<std::int8_t>(20));
+    std::vector<std::int32_t> bias(5);
+    for (auto &row : w)
+        for (auto &v : row)
+            v = randomInt8(rng);
+    for (auto &b : bias)
+        b = static_cast<std::int32_t>(rng.nextBelow(100)) - 50;
+    auto out = exec.fullyConnected(x, w, bias);
+    for (std::size_t o = 0; o < 5; ++o) {
+        std::int32_t expect = bias[o];
+        for (std::size_t i = 0; i < 20; ++i)
+            expect += static_cast<std::int32_t>(w[o][i]) * x[i];
+        EXPECT_EQ(out[o], expect);
+    }
+}
+
+TEST(PimExecutor, ReluZeroesNegatives)
+{
+    PimCnnExecutor exec;
+    IntTensor t(2, 2, 2);
+    t.data = {-5, 3, 0, -1000000, 42, -1, 7, 2000000};
+    exec.reluInPlace(t);
+    std::vector<std::int32_t> expect = {0, 3, 0, 0, 42, 0, 7, 2000000};
+    EXPECT_EQ(t.data, expect);
+}
+
+TEST(PimExecutor, RequantizeClampsAndShifts)
+{
+    EXPECT_EQ(PimCnnExecutor::requantize(1024, 4), 64);
+    EXPECT_EQ(PimCnnExecutor::requantize(100000, 4), 127);
+    EXPECT_EQ(PimCnnExecutor::requantize(-100000, 4), -127);
+    EXPECT_EQ(PimCnnExecutor::requantize(0, 4), 0);
+}
+
+TEST(PimExecutor, TinyCnnEndToEnd)
+{
+    // conv -> relu -> pool -> fc, fully through the PIM ops, against
+    // a plain integer reference.
+    PimCnnExecutor exec;
+    Rng rng(23);
+    IntTensor input(8, 8, 1);
+    for (auto &v : input.data)
+        v = randomInt8(rng);
+    std::vector<IntTensor> kernels;
+    for (int oc = 0; oc < 2; ++oc) {
+        IntTensor k(3, 3, 1);
+        for (auto &v : k.data)
+            v = randomInt8(rng);
+        kernels.push_back(std::move(k));
+    }
+    std::vector<std::int32_t> bias = {3, -4};
+
+    auto conv = exec.conv2d(input, kernels, bias);
+    exec.reluInPlace(conv);
+    // Requantize to 14-bit range so pooling lanes fit.
+    for (auto &v : conv.data)
+        v = std::min(v, (1 << 14) - 1);
+    auto pooled = exec.maxPool(conv, 2); // 6x6x2 -> 3x3x2
+    // Flatten and classify.
+    std::vector<std::int8_t> flat;
+    for (auto v : pooled.data)
+        flat.push_back(PimCnnExecutor::requantize(v, 7));
+    std::vector<std::vector<std::int8_t>> w(
+        4, std::vector<std::int8_t>(flat.size()));
+    for (auto &row : w)
+        for (auto &v : row)
+            v = randomInt8(rng);
+    auto logits = exec.fullyConnected(w.size() ? flat : flat, w,
+                                      {0, 0, 0, 0});
+
+    // Plain reference of the same pipeline.
+    auto ref_conv = [&](std::size_t i, std::size_t j, std::size_t oc) {
+        std::int32_t acc = bias[oc];
+        for (std::size_t ki = 0; ki < 3; ++ki)
+            for (std::size_t kj = 0; kj < 3; ++kj)
+                acc += input.at(i + ki, j + kj, 0) *
+                       kernels[oc].at(ki, kj, 0);
+        return std::min(std::max(acc, 0), (1 << 14) - 1);
+    };
+    IntTensor ref_pool(3, 3, 2);
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            for (std::size_t c = 0; c < 2; ++c) {
+                std::int32_t m = 0;
+                for (std::size_t pi = 0; pi < 2; ++pi)
+                    for (std::size_t pj = 0; pj < 2; ++pj)
+                        m = std::max(m, ref_conv(2 * i + pi,
+                                                 2 * j + pj, c));
+                ref_pool.at(i, j, c) = m;
+            }
+    for (std::size_t o = 0; o < w.size(); ++o) {
+        std::int32_t expect = 0;
+        for (std::size_t i = 0; i < flat.size(); ++i)
+            expect += static_cast<std::int32_t>(w[o][i]) *
+                      PimCnnExecutor::requantize(ref_pool.data[i], 7);
+        EXPECT_EQ(logits[o], expect) << "logit " << o;
+    }
+}
+
+} // namespace
+} // namespace coruscant

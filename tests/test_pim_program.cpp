@@ -1,0 +1,256 @@
+/**
+ * @file
+ * PIM program builder: lowering expression DAGs to cpim sequences and
+ * executing them end-to-end through the memory controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include "controller/memory_controller.hpp"
+#include "controller/pim_program.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace coruscant {
+namespace {
+
+class ProgramTest : public ::testing::Test
+{
+  protected:
+    ProgramTest()
+        : ctrl(mem)
+    {}
+
+    BitVector
+    randomRow(std::uint64_t salt)
+    {
+        Rng rng(salt);
+        BitVector row(512);
+        for (std::size_t w = 0; w < 512; ++w)
+            row.set(w, rng.nextBool());
+        return row;
+    }
+
+    DwmMainMemory mem;
+    MemoryController ctrl;
+    static constexpr std::uint64_t scratch = 0x2000000;
+};
+
+TEST_F(ProgramTest, SingleBulkOp)
+{
+    auto a = randomRow(1), b = randomRow(2), c = randomRow(3);
+    mem.writeLine(0x1000, a);
+    mem.writeLine(0x2000, b);
+    mem.writeLine(0x3000, c);
+
+    PimProgram prog;
+    auto va = prog.load(0x1000);
+    auto vb = prog.load(0x2000);
+    auto vc = prog.load(0x3000);
+    auto r = prog.bulkOp(BulkOp::And, {va, vb, vc});
+    prog.store(r, 0x9000);
+
+    auto compiled = prog.compile(mem.config(), scratch);
+    // 3 gather copies + 1 op + 1 store copy.
+    EXPECT_EQ(compiled.instructions.size(), 5u);
+    EXPECT_EQ(compiled.copyCount, 4u);
+    PimProgramRunner runner(ctrl);
+    runner.run(compiled);
+    EXPECT_EQ(mem.readLine(0x9000), a & b & c);
+}
+
+TEST_F(ProgramTest, ArithmeticDag)
+{
+    // d = (a + b) * c over 8-bit lanes packed in 16-bit fields.
+    Rng rng(7);
+    BitVector a(512), b(512), c(512);
+    std::vector<std::uint64_t> av(32), bv(32), cv(32);
+    for (std::size_t l = 0; l < 32; ++l) {
+        av[l] = rng.next() & 0x7F;
+        bv[l] = rng.next() & 0x7F;
+        cv[l] = rng.next() & 0xFF;
+        a.insertUint64(l * 16, 16, av[l]);
+        b.insertUint64(l * 16, 16, bv[l]);
+        c.insertUint64(l * 16, 16, cv[l]);
+    }
+    mem.writeLine(0x10000, a);
+    mem.writeLine(0x20000, b);
+    mem.writeLine(0x30000, c);
+
+    PimProgram prog;
+    auto sum = prog.add({prog.load(0x10000), prog.load(0x20000)}, 16);
+    auto product = prog.multiply(sum, prog.load(0x30000), 16);
+    prog.store(product, 0x40000);
+
+    auto compiled = prog.compile(mem.config(), scratch);
+    PimProgramRunner runner(ctrl);
+    runner.run(compiled);
+    auto result = mem.readLine(0x40000);
+    for (std::size_t l = 0; l < 32; ++l) {
+        std::uint64_t expect = ((av[l] + bv[l]) * cv[l]) & 0xFFFF;
+        EXPECT_EQ(result.sliceUint64(l * 16, 16), expect)
+            << "lane " << l;
+    }
+}
+
+TEST_F(ProgramTest, ReuseOfIntermediateValues)
+{
+    // x = a ^ b; y = x | a; z = x & y  — x feeds two consumers.
+    auto a = randomRow(11), b = randomRow(12);
+    mem.writeLine(0x5000, a);
+    mem.writeLine(0x6000, b);
+    PimProgram prog;
+    auto va = prog.load(0x5000);
+    auto vb = prog.load(0x6000);
+    auto x = prog.bulkOp(BulkOp::Xor, {va, vb});
+    auto y = prog.bulkOp(BulkOp::Or, {x, va});
+    auto z = prog.bulkOp(BulkOp::And, {x, y});
+    prog.store(z, 0x7000);
+    PimProgramRunner runner(ctrl);
+    runner.run(prog.compile(mem.config(), scratch));
+    BitVector gx = a ^ b;
+    EXPECT_EQ(mem.readLine(0x7000), gx & (gx | a));
+}
+
+TEST_F(ProgramTest, MaxExpression)
+{
+    BitVector r1(512), r2(512), r3(512);
+    for (std::size_t l = 0; l < 64; ++l) {
+        r1.insertUint64(l * 8, 8, (l * 7) % 256);
+        r2.insertUint64(l * 8, 8, (l * 13) % 256);
+        r3.insertUint64(l * 8, 8, (l * 29) % 256);
+    }
+    mem.writeLine(0x8000, r1);
+    mem.writeLine(0x8040, r2);
+    mem.writeLine(0x8080, r3);
+    PimProgram prog;
+    auto m = prog.maxOf({prog.load(0x8000), prog.load(0x8040),
+                         prog.load(0x8080)},
+                        8);
+    prog.store(m, 0xA000);
+    PimProgramRunner runner(ctrl);
+    runner.run(prog.compile(mem.config(), scratch));
+    auto out = mem.readLine(0xA000);
+    for (std::size_t l = 0; l < 64; ++l) {
+        std::uint64_t expect =
+            std::max({(l * 7) % 256, (l * 13) % 256, (l * 29) % 256});
+        EXPECT_EQ(out.sliceUint64(l * 8, 8), expect) << "lane " << l;
+    }
+}
+
+TEST_F(ProgramTest, ScratchSpillsAcrossDbcs)
+{
+    // Enough operations to exceed one DBC's 32 rows of scratch.
+    auto a = randomRow(42);
+    mem.writeLine(0xB000, a);
+    PimProgram prog;
+    auto v = prog.load(0xB000);
+    for (int i = 0; i < 20; ++i)
+        v = prog.bulkOp(BulkOp::Xor, {v, v}); // 2 gathers + 1 result
+    prog.store(v, 0xC000);
+    auto compiled = prog.compile(mem.config(), scratch);
+    EXPECT_GT(compiled.scratchRowsUsed, 32u);
+    PimProgramRunner runner(ctrl);
+    runner.run(compiled);
+    // x ^ x == 0 from the first op onward.
+    EXPECT_EQ(mem.readLine(0xC000).popcount(), 0u);
+}
+
+TEST_F(ProgramTest, IsaLevelConvolution)
+{
+    // A 3x3 valid convolution on a 4x4 image, built entirely from
+    // cpim multiply/add expressions and executed through the memory
+    // controller — the compiler path of paper Sec. III-E end to end.
+    const int img[4][4] = {{1, 2, 3, 4},
+                           {5, 6, 7, 8},
+                           {9, 10, 11, 12},
+                           {13, 14, 15, 16}};
+    const int ker[3][3] = {{1, 0, 2}, {0, 3, 0}, {1, 0, 1}};
+
+    // Stage every pixel and kernel weight as a 16-bit lane-0 row.
+    auto rowFor = [&](int v) {
+        BitVector row(512);
+        row.insertUint64(0, 16, static_cast<std::uint64_t>(v));
+        return row;
+    };
+    PimProgram prog;
+    std::vector<std::vector<PimProgram::Value>> pix(
+        4, std::vector<PimProgram::Value>(4));
+    std::uint64_t addr = 0x100000;
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            mem.writeLine(addr, rowFor(img[i][j]));
+            pix[i][j] = prog.load(addr);
+            addr += 64;
+        }
+    }
+    std::vector<std::vector<PimProgram::Value>> wv(
+        3, std::vector<PimProgram::Value>(3));
+    for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) {
+            mem.writeLine(addr, rowFor(ker[i][j]));
+            wv[i][j] = prog.load(addr);
+            addr += 64;
+        }
+    }
+
+    std::uint64_t out_base = 0x4000000;
+    for (int oi = 0; oi < 2; ++oi) {
+        for (int oj = 0; oj < 2; ++oj) {
+            std::vector<PimProgram::Value> products;
+            for (int ki = 0; ki < 3; ++ki)
+                for (int kj = 0; kj < 3; ++kj)
+                    products.push_back(prog.multiply(
+                        pix[oi + ki][oj + kj], wv[ki][kj], 16));
+            // Sum nine products: 5 + (acc + 4).
+            std::vector<PimProgram::Value> first(products.begin(),
+                                                 products.begin() + 5);
+            auto acc = prog.add(first, 16);
+            std::vector<PimProgram::Value> rest = {acc};
+            rest.insert(rest.end(), products.begin() + 5,
+                        products.end());
+            auto result = prog.add(rest, 16);
+            prog.store(result,
+                       out_base + (oi * 2 + oj) * 64);
+        }
+    }
+
+    auto compiled = prog.compile(mem.config(), scratch);
+    PimProgramRunner runner(ctrl);
+    runner.run(compiled);
+
+    for (int oi = 0; oi < 2; ++oi) {
+        for (int oj = 0; oj < 2; ++oj) {
+            int expect = 0;
+            for (int ki = 0; ki < 3; ++ki)
+                for (int kj = 0; kj < 3; ++kj)
+                    expect += img[oi + ki][oj + kj] * ker[ki][kj];
+            auto line =
+                mem.readLine(out_base + (oi * 2 + oj) * 64);
+            EXPECT_EQ(line.sliceUint64(0, 16),
+                      static_cast<std::uint64_t>(expect))
+                << "output (" << oi << "," << oj << ")";
+        }
+    }
+}
+
+TEST_F(ProgramTest, CompileRejectsIsaViolations)
+{
+    PimProgram prog;
+    std::vector<PimProgram::Value> vals;
+    for (int i = 0; i < 6; ++i)
+        vals.push_back(prog.load(0x1000 + 64 * i));
+    // 6-operand addition exceeds TRD-2 = 5.
+    prog.add(vals, 8);
+    EXPECT_THROW(prog.compile(mem.config(), scratch), FatalError);
+}
+
+TEST_F(ProgramTest, InvalidValueHandles)
+{
+    PimProgram prog;
+    EXPECT_THROW(prog.bulkOp(BulkOp::And, {0, 1}), FatalError);
+    EXPECT_THROW(prog.store(3, 0x1000), FatalError);
+}
+
+} // namespace
+} // namespace coruscant

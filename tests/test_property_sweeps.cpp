@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Broad parameterized property sweeps across the operation space:
+ * every TRD x arity x width combination of the arithmetic ops against
+ * golden models, plus invariants that must hold universally.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/coruscant_unit.hpp"
+#include "util/rng.hpp"
+
+namespace coruscant {
+namespace {
+
+DeviceParams
+params(std::size_t trd, std::size_t wires)
+{
+    DeviceParams p = DeviceParams::withTrd(trd);
+    p.wiresPerDbc = wires;
+    return p;
+}
+
+struct SweepCase
+{
+    std::size_t trd;
+    std::size_t block;
+};
+
+class ArithmeticSweep : public ::testing::TestWithParam<SweepCase>
+{};
+
+/** Every legal operand count at this TRD produces exact lane sums. */
+TEST_P(ArithmeticSweep, AddAllArities)
+{
+    auto [trd, block] = GetParam();
+    const std::size_t wires = block * 2;
+    CoruscantUnit unit(params(trd, wires));
+    Rng rng(trd * 131 + block);
+    std::uint64_t mask = block >= 64 ? ~0ULL : ((1ULL << block) - 1);
+    for (std::size_t m = 1; m <= unit.params().maxAddOperands(); ++m) {
+        for (int iter = 0; iter < 8; ++iter) {
+            std::vector<BitVector> ops;
+            std::uint64_t e0 = 0, e1 = 0;
+            for (std::size_t i = 0; i < m; ++i) {
+                std::uint64_t v0 = rng.next() & mask;
+                std::uint64_t v1 = rng.next() & mask;
+                BitVector row(wires);
+                row.insertUint64(0, block, v0);
+                row.insertUint64(block, block, v1);
+                ops.push_back(std::move(row));
+                e0 += v0;
+                e1 += v1;
+            }
+            auto sum = unit.add(ops, block);
+            EXPECT_EQ(sum.sliceUint64(0, block), e0 & mask)
+                << "m=" << m;
+            EXPECT_EQ(sum.sliceUint64(block, block), e1 & mask)
+                << "m=" << m;
+        }
+    }
+}
+
+/** Addition is commutative under operand permutation. */
+TEST_P(ArithmeticSweep, AddCommutative)
+{
+    auto [trd, block] = GetParam();
+    const std::size_t wires = block;
+    CoruscantUnit unit(params(trd, wires));
+    Rng rng(trd + block);
+    std::size_t m = unit.params().maxAddOperands();
+    std::vector<BitVector> ops;
+    for (std::size_t i = 0; i < m; ++i) {
+        BitVector row(wires);
+        row.insertUint64(0, block,
+                         rng.next() &
+                             ((block >= 64) ? ~0ULL
+                                            : ((1ULL << block) - 1)));
+        ops.push_back(std::move(row));
+    }
+    auto forward = unit.add(ops, block);
+    std::reverse(ops.begin(), ops.end());
+    EXPECT_EQ(unit.add(ops, block), forward);
+}
+
+/** Reduction of m rows equals the plain lane sum for all m. */
+TEST_P(ArithmeticSweep, ReduceAllArities)
+{
+    auto [trd, block] = GetParam();
+    const std::size_t wires = block * 2;
+    CoruscantUnit unit(params(trd, wires));
+    Rng rng(trd * 7 + block);
+    std::uint64_t mask = block >= 64 ? ~0ULL : ((1ULL << block) - 1);
+    // TRD < 5 has no super carry: 3->2 reduction only.
+    std::size_t max_rows = trd >= 5 ? trd : 3;
+    for (std::size_t m = 1; m <= max_rows; ++m) {
+        std::vector<BitVector> rows;
+        std::uint64_t expect = 0;
+        for (std::size_t i = 0; i < m; ++i) {
+            std::uint64_t v = rng.next() & mask;
+            BitVector row(wires);
+            row.insertUint64(0, block, v);
+            rows.push_back(std::move(row));
+            expect += v;
+        }
+        auto red = unit.reduce(rows, block);
+        std::uint64_t got = red.sum.sliceUint64(0, block) +
+                            red.carry.sliceUint64(0, block);
+        if (red.hasSuperCarry)
+            got += red.superCarry.sliceUint64(0, block);
+        EXPECT_EQ(got & mask, expect & mask) << "m=" << m;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TrdBlock, ArithmeticSweep,
+    ::testing::Values(SweepCase{3, 8}, SweepCase{3, 16},
+                      SweepCase{4, 8}, SweepCase{5, 8},
+                      SweepCase{5, 32}, SweepCase{6, 8},
+                      SweepCase{7, 8}, SweepCase{7, 16},
+                      SweepCase{7, 64}),
+    [](const ::testing::TestParamInfo<SweepCase> &info) {
+        return "trd" + std::to_string(info.param.trd) + "_b" +
+               std::to_string(info.param.block);
+    });
+
+/** Distributivity: (a+b)*c == a*c + b*c through the PIM ops. */
+TEST(AlgebraicProperty, MultiplicationDistributesOverAddition)
+{
+    CoruscantUnit unit(params(7, 32));
+    Rng rng(17);
+    for (int iter = 0; iter < 15; ++iter) {
+        std::uint64_t a = rng.next() & 0x7F;
+        std::uint64_t b = rng.next() & 0x7F;
+        std::uint64_t c = rng.next() & 0xFF;
+        auto pack = [&](std::uint64_t v) {
+            BitVector row(32);
+            row.insertUint64(0, 16, v);
+            return row;
+        };
+        auto sum = unit.add({pack(a), pack(b)}, 16);
+        auto lhs = unit.multiply(sum, pack(c), 8);
+        auto ac = unit.multiply(pack(a), pack(c), 8);
+        auto bc = unit.multiply(pack(b), pack(c), 8);
+        auto rhs = unit.add({ac, bc}, 16);
+        EXPECT_EQ(lhs.sliceUint64(0, 16), rhs.sliceUint64(0, 16))
+            << a << "," << b << "," << c;
+    }
+}
+
+/** Max is idempotent, commutative, and dominated by its arguments. */
+TEST(AlgebraicProperty, MaxLattice)
+{
+    CoruscantUnit unit(params(7, 16));
+    Rng rng(23);
+    for (int iter = 0; iter < 15; ++iter) {
+        std::uint64_t a = rng.next() & 0xFFFF;
+        std::uint64_t b = rng.next() & 0xFFFF;
+        auto pack = [&](std::uint64_t v) {
+            return BitVector::fromUint64(16, v);
+        };
+        auto mab = unit.maxOfRows({pack(a), pack(b)}, 16).toUint64();
+        auto mba = unit.maxOfRows({pack(b), pack(a)}, 16).toUint64();
+        auto maa = unit.maxOfRows({pack(a), pack(a)}, 16).toUint64();
+        EXPECT_EQ(mab, mba);
+        EXPECT_EQ(maa, a);
+        EXPECT_GE(mab, std::max(a, b)); // equality:
+        EXPECT_EQ(mab, std::max(a, b));
+    }
+}
+
+/** Bulk De Morgan: NAND(a,b) == OR(~a,~b) computed through the unit. */
+TEST(AlgebraicProperty, DeMorgan)
+{
+    CoruscantUnit unit(params(7, 64));
+    Rng rng(29);
+    for (int iter = 0; iter < 10; ++iter) {
+        BitVector a(64), b(64);
+        for (std::size_t w = 0; w < 64; ++w) {
+            a.set(w, rng.nextBool());
+            b.set(w, rng.nextBool());
+        }
+        auto nand = unit.bulkBitwise(BulkOp::Nand, {a, b});
+        auto na = unit.bulkBitwise(BulkOp::Not, {a});
+        auto nb = unit.bulkBitwise(BulkOp::Not, {b});
+        auto or_n = unit.bulkBitwise(BulkOp::Or, {na, nb});
+        EXPECT_EQ(nand, or_n);
+    }
+}
+
+/** Cost invariants: cycles depend on shape, never on data values. */
+TEST(CostProperty, CyclesAreDataIndependent)
+{
+    CoruscantUnit unit(params(7, 32));
+    Rng rng(31);
+    auto run_add = [&](std::uint64_t seed) {
+        Rng r(seed);
+        std::vector<BitVector> ops;
+        for (int i = 0; i < 5; ++i) {
+            BitVector row(32);
+            row.insertUint64(0, 32, r.next());
+            ops.push_back(std::move(row));
+        }
+        unit.resetCosts();
+        unit.add(ops, 8);
+        return unit.ledger().cycles();
+    };
+    auto c1 = run_add(1);
+    for (std::uint64_t s = 2; s < 8; ++s)
+        EXPECT_EQ(run_add(s), c1);
+
+    auto run_mul = [&](std::uint64_t a, std::uint64_t b) {
+        BitVector ar(32), br(32);
+        ar.insertUint64(0, 16, a);
+        br.insertUint64(0, 16, b);
+        unit.resetCosts();
+        unit.multiply(ar, br, 8);
+        return unit.ledger().cycles();
+    };
+    EXPECT_EQ(run_mul(0, 0), run_mul(255, 255));
+    EXPECT_EQ(run_mul(1, 128), run_mul(170, 85));
+}
+
+} // namespace
+} // namespace coruscant

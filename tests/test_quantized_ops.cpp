@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Functional binary / ternary PIM primitives (DrAcc / NID modes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/cnn/quantized_ops.hpp"
+#include "util/rng.hpp"
+
+namespace coruscant {
+namespace {
+
+TEST(QuantizedOps, PopcountMatchesHost)
+{
+    QuantizedPimOps q;
+    Rng rng(5);
+    for (int iter = 0; iter < 20; ++iter) {
+        std::size_t n = 1 + rng.nextBelow(512);
+        BitVector bits(512);
+        for (std::size_t i = 0; i < n; ++i)
+            bits.set(i, rng.nextBool());
+        EXPECT_EQ(q.popcount(bits, n), bits.slice(0, n).popcount())
+            << "n=" << n;
+    }
+}
+
+TEST(QuantizedOps, PopcountEdgeCases)
+{
+    QuantizedPimOps q;
+    BitVector zeros(512), ones(512, true);
+    EXPECT_EQ(q.popcount(zeros, 512), 0u);
+    EXPECT_EQ(q.popcount(ones, 512), 512u);
+    EXPECT_EQ(q.popcount(ones, 1), 1u);
+    EXPECT_EQ(q.popcount(ones, 0), 0u);
+}
+
+TEST(QuantizedOps, BinaryDotMatchesReference)
+{
+    QuantizedPimOps q;
+    Rng rng(7);
+    for (int iter = 0; iter < 20; ++iter) {
+        std::size_t n = 1 + rng.nextBelow(300);
+        BitVector a(512), w(512);
+        std::int64_t expect = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            bool av = rng.nextBool(), wv = rng.nextBool();
+            a.set(i, av);
+            w.set(i, wv);
+            expect += (av == wv) ? 1 : -1; // {-1,+1} product
+        }
+        EXPECT_EQ(q.binaryDot(a, w, n), expect) << "n=" << n;
+    }
+}
+
+TEST(QuantizedOps, BinaryDotExtremes)
+{
+    QuantizedPimOps q;
+    BitVector a(512, true), w(512, true);
+    EXPECT_EQ(q.binaryDot(a, w, 100), 100); // all matching
+    EXPECT_EQ(q.binaryDot(a, ~w, 100), -100); // all opposite
+}
+
+TEST(QuantizedOps, TernaryDotMatchesReference)
+{
+    QuantizedPimOps q;
+    Rng rng(11);
+    for (int iter = 0; iter < 15; ++iter) {
+        std::size_t n = 1 + rng.nextBelow(200);
+        std::vector<std::uint8_t> x(n);
+        std::vector<std::int8_t> w(n);
+        std::int64_t expect = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            x[i] = static_cast<std::uint8_t>(rng.nextBelow(256));
+            w[i] = static_cast<std::int8_t>(
+                static_cast<int>(rng.nextBelow(3)) - 1);
+            expect += static_cast<std::int64_t>(x[i]) * w[i];
+        }
+        EXPECT_EQ(q.ternaryDot(x, w), expect) << "n=" << n;
+    }
+}
+
+TEST(QuantizedOps, TernaryZeroWeightsCostNothing)
+{
+    QuantizedPimOps q;
+    std::vector<std::uint8_t> x(50, 10);
+    std::vector<std::int8_t> w(50, 0);
+    q.resetCosts();
+    EXPECT_EQ(q.ternaryDot(x, w), 0);
+    EXPECT_EQ(q.ledger().cycles(), 0u); // nothing to accumulate
+}
+
+TEST(QuantizedOps, NoMultiplierInvolved)
+{
+    // The quantized path must consist of bulk ops and additions only
+    // (the whole point of DrAcc/NID): no "copy" (partial-product)
+    // charges appear in the ledger.
+    QuantizedPimOps q;
+    std::vector<std::uint8_t> x(64, 3);
+    std::vector<std::int8_t> w(64);
+    for (std::size_t i = 0; i < 64; ++i)
+        w[i] = (i % 3 == 0) ? 1 : ((i % 3 == 1) ? -1 : 0);
+    q.resetCosts();
+    q.ternaryDot(x, w);
+    EXPECT_EQ(q.ledger().byCategory().count("copy"), 0u);
+    EXPECT_GT(q.ledger().byCategory().at("tr").count, 0u);
+}
+
+TEST(QuantizedOps, BinaryConvOutputConsistent)
+{
+    QuantizedPimOps q;
+    // 3x3x2 window, all +1; kernel alternating.
+    const std::size_t elems = 18;
+    BitVector window(512, true), kernel(512);
+    std::int64_t expect = 0;
+    for (std::size_t i = 0; i < elems; ++i) {
+        bool kv = i % 2 == 0;
+        kernel.set(i, kv);
+        expect += kv ? 1 : -1;
+    }
+    EXPECT_EQ(q.binaryConvOutput(window, kernel, elems), expect);
+}
+
+} // namespace
+} // namespace coruscant

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Large-cardinality addition via carry-save reductions
+ * (CoruscantUnit::reduceAndSum) and its O(n) advantage over grouped
+ * addition chains (paper Sec. III-D.3, Sec. IV-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/coruscant_unit.hpp"
+#include "util/rng.hpp"
+
+namespace coruscant {
+namespace {
+
+DeviceParams
+params(std::size_t trd, std::size_t wires)
+{
+    DeviceParams p = DeviceParams::withTrd(trd);
+    p.wiresPerDbc = wires;
+    return p;
+}
+
+std::vector<BitVector>
+randomRows(Rng &rng, std::size_t count, std::size_t wires,
+           std::size_t block, std::vector<std::uint64_t> &lane_sums)
+{
+    std::size_t lanes = wires / block;
+    lane_sums.assign(lanes, 0);
+    std::vector<BitVector> rows;
+    std::uint64_t vmask = 0xFF; // keep totals well inside the lanes
+    for (std::size_t i = 0; i < count; ++i) {
+        BitVector row(wires);
+        for (std::size_t l = 0; l < lanes; ++l) {
+            std::uint64_t v = rng.next() & vmask;
+            row.insertUint64(l * block, block, v);
+            lane_sums[l] += v;
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+class ReduceAndSumSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t,
+                                                 std::size_t>>
+{};
+
+TEST_P(ReduceAndSumSweep, ExactForManyRows)
+{
+    auto [trd, count] = GetParam();
+    const std::size_t block = 32, wires = 64;
+    CoruscantUnit unit(params(trd, wires));
+    Rng rng(trd * 1000 + count);
+    std::vector<std::uint64_t> expect;
+    auto rows = randomRows(rng, count, wires, block, expect);
+    auto sum = unit.reduceAndSum(rows, block);
+    for (std::size_t l = 0; l < wires / block; ++l)
+        EXPECT_EQ(sum.sliceUint64(l * block, block),
+                  expect[l] & 0xFFFFFFFF)
+            << "lane " << l;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TrdCount, ReduceAndSumSweep,
+    ::testing::Combine(::testing::Values(3u, 5u, 7u),
+                       ::testing::Values(1u, 2u, 6u, 10u, 25u, 60u)),
+    [](const ::testing::TestParamInfo<std::tuple<std::size_t,
+                                                 std::size_t>> &info) {
+        return "trd" + std::to_string(std::get<0>(info.param)) +
+               "_n" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ReduceAndSum, BeatsGroupedAdditionChains)
+{
+    // Paper Sec. IV-A: reducing 362 operands takes five 4-cycle 7->3
+    // steps... vs ceil(log) 40-cycle CLA steps in DRAM; against our
+    // own grouped-addition chains the CSA path must win clearly for
+    // large reductions.
+    const std::size_t count = 60, block = 32, wires = 64;
+    CoruscantUnit csa(params(7, wires));
+    CoruscantUnit chain(params(7, wires));
+    Rng rng(5);
+    std::vector<std::uint64_t> expect;
+    auto rows = randomRows(rng, count, wires, block, expect);
+
+    csa.resetCosts();
+    auto s1 = csa.reduceAndSum(rows, block);
+    chain.resetCosts();
+    // Grouped additions: 5 at a time (the no-CSA alternative).
+    std::vector<BitVector> pending = rows;
+    while (pending.size() > 1) {
+        std::vector<BitVector> group;
+        std::size_t m = std::min<std::size_t>(5, pending.size());
+        group.assign(pending.begin(), pending.begin() + m);
+        pending.erase(pending.begin(), pending.begin() + m);
+        pending.push_back(chain.add(group, block));
+    }
+    EXPECT_EQ(s1, pending[0]);
+    EXPECT_LT(csa.ledger().cycles(), chain.ledger().cycles() / 2);
+}
+
+TEST(ReduceAndSum, LinearScaling)
+{
+    // Cycles per summed row must flatten as the row count grows
+    // (the O(n) claim).
+    const std::size_t block = 32, wires = 64;
+    auto cost = [&](std::size_t count) {
+        CoruscantUnit unit(params(7, wires));
+        Rng rng(count);
+        std::vector<std::uint64_t> expect;
+        auto rows = randomRows(rng, count, wires, block, expect);
+        unit.resetCosts();
+        unit.reduceAndSum(rows, block);
+        return static_cast<double>(unit.ledger().cycles()) /
+               static_cast<double>(count);
+    };
+    double per20 = cost(20);
+    double per80 = cost(80);
+    // Per-row cost at 80 rows within 50% of the 20-row figure
+    // (amortizing the final addition).
+    EXPECT_LT(per80, per20);
+    EXPECT_GT(per80, per20 * 0.3);
+}
+
+} // namespace
+} // namespace coruscant

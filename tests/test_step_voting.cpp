@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Per-step-voted addition (paper Sec. III-F trade-off).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/coruscant_unit.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace coruscant {
+namespace {
+
+DeviceParams
+smallParams(std::size_t trd, std::size_t wires)
+{
+    DeviceParams p = DeviceParams::withTrd(trd);
+    p.wiresPerDbc = wires;
+    return p;
+}
+
+TEST(StepVotedAdd, CorrectWithoutFaults)
+{
+    CoruscantUnit unit(smallParams(7, 32));
+    Rng rng(3);
+    for (int iter = 0; iter < 10; ++iter) {
+        std::vector<BitVector> ops;
+        std::vector<std::uint64_t> expect(4, 0);
+        for (int i = 0; i < 5; ++i) {
+            BitVector row(32);
+            for (std::size_t l = 0; l < 4; ++l) {
+                std::uint64_t v = rng.next() & 0xFF;
+                row.insertUint64(l * 8, 8, v);
+                expect[l] += v;
+            }
+            ops.push_back(std::move(row));
+        }
+        auto sum = unit.addStepVoted(ops, 8, 3);
+        for (std::size_t l = 0; l < 4; ++l)
+            EXPECT_EQ(sum.sliceUint64(l * 8, 8), expect[l] & 0xFF);
+    }
+}
+
+TEST(StepVotedAdd, CostIsNTrsPlusVotePerBit)
+{
+    CoruscantUnit unit(smallParams(7, 8));
+    std::vector<BitVector> ops(5, BitVector::fromUint64(8, 9));
+    unit.resetCosts();
+    unit.addStepVoted(ops, 8, 3);
+    // Setup 10 + per bit: 3 TR + 1 vote + 1 write = 5 -> 10 + 40.
+    EXPECT_EQ(unit.ledger().cycles(), 50u);
+    unit.resetCosts();
+    unit.add(ops, 8, 8);
+    EXPECT_EQ(unit.ledger().cycles(), 26u); // plain add for contrast
+}
+
+TEST(StepVotedAdd, SuppressesCarryChainErrors)
+{
+    // At an elevated fault rate, per-step voting must beat both the
+    // unprotected add and end-of-operation TMR (the paper's "nearly
+    // two orders of magnitude lower fault rate" direction).
+    const double p_fault = 5e-3;
+    const int trials = 4000;
+    DeviceParams p = smallParams(7, 8);
+    Rng data(77);
+
+    CoruscantUnit plain(p, p_fault, 1);
+    CoruscantUnit end_tmr(p, p_fault, 2);
+    CoruscantUnit step(p, p_fault, 3);
+    int plain_err = 0, end_err = 0, step_err = 0;
+    for (int t = 0; t < trials; ++t) {
+        std::uint64_t a = data.next() & 0xFF, b = data.next() & 0xFF;
+        std::uint64_t expect = (a + b) & 0xFF;
+        std::vector<BitVector> ops = {BitVector::fromUint64(8, a),
+                                      BitVector::fromUint64(8, b)};
+        if (plain.add(ops, 8, 8).toUint64() != expect)
+            ++plain_err;
+        auto voted = end_tmr.nmrExecute(
+            3, [&] { return end_tmr.add(ops, 8, 8); });
+        if (voted.toUint64() != expect)
+            ++end_err;
+        if (step.addStepVoted(ops, 8, 3).toUint64() != expect)
+            ++step_err;
+    }
+    EXPECT_GT(plain_err, 50);
+    EXPECT_LT(end_err, plain_err / 5);
+    EXPECT_LE(step_err, end_err);
+}
+
+TEST(StepVotedAdd, WorksAtTrd3)
+{
+    CoruscantUnit unit(smallParams(3, 16));
+    std::vector<BitVector> ops = {BitVector::fromUint64(16, 200),
+                                  BitVector::fromUint64(16, 100)};
+    EXPECT_EQ(unit.addStepVoted(ops, 16, 3).toUint64(), 300u);
+}
+
+TEST(StepVotedAdd, RejectsEvenN)
+{
+    CoruscantUnit unit(smallParams(7, 8));
+    std::vector<BitVector> ops(2, BitVector(8));
+    EXPECT_THROW(unit.addStepVoted(ops, 8, 4), FatalError);
+}
+
+} // namespace
+} // namespace coruscant

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * CoruscantUnit max function (paper Sec. IV-B) and ReLU.
+ */
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "core/coruscant_unit.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace coruscant {
+namespace {
+
+DeviceParams
+smallParams(std::size_t trd, std::size_t wires = 32)
+{
+    DeviceParams p = DeviceParams::withTrd(trd);
+    p.wiresPerDbc = wires;
+    return p;
+}
+
+BitVector
+packLanes(std::size_t width, std::size_t lane_w,
+          const std::vector<std::uint64_t> &values)
+{
+    BitVector row(width);
+    for (std::size_t i = 0; i < values.size(); ++i)
+        row.insertUint64(i * lane_w, lane_w, values[i]);
+    return row;
+}
+
+struct MaxCase
+{
+    std::size_t trd;
+    std::size_t candidates;
+    bool useTw;
+};
+
+class MaxSweep : public ::testing::TestWithParam<MaxCase>
+{};
+
+TEST_P(MaxSweep, LanewiseMaximum)
+{
+    auto [trd, m, use_tw] = GetParam();
+    const std::size_t word = 8;
+    const std::size_t lanes = 4;
+    CoruscantUnit unit(smallParams(trd, word * lanes));
+    Rng rng(trd * 13 + m + (use_tw ? 1 : 0));
+    for (int iter = 0; iter < 20; ++iter) {
+        std::vector<BitVector> cands;
+        std::vector<std::uint64_t> expected(lanes, 0);
+        for (std::size_t i = 0; i < m; ++i) {
+            std::vector<std::uint64_t> vals;
+            for (std::size_t l = 0; l < lanes; ++l) {
+                std::uint64_t v = rng.next() & 0xFF;
+                vals.push_back(v);
+                expected[l] = std::max(expected[l], v);
+            }
+            cands.push_back(packLanes(word * lanes, word, vals));
+        }
+        auto mx = unit.maxOfRows(cands, word, 0, use_tw);
+        for (std::size_t l = 0; l < lanes; ++l)
+            EXPECT_EQ(mx.sliceUint64(l * word, word), expected[l])
+                << "lane " << l << " iter " << iter;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CandidateSweep, MaxSweep,
+    ::testing::Values(MaxCase{7, 2, true}, MaxCase{7, 4, true},
+                      MaxCase{7, 7, true}, MaxCase{7, 7, false},
+                      MaxCase{5, 5, true}, MaxCase{3, 3, true},
+                      MaxCase{3, 2, false}),
+    [](const ::testing::TestParamInfo<MaxCase> &info) {
+        return "trd" + std::to_string(info.param.trd) + "_m" +
+               std::to_string(info.param.candidates) +
+               (info.param.useTw ? "_tw" : "_shift");
+    });
+
+TEST(UnitMax, PaperExampleFigure8)
+{
+    // Fig. 8: A=0101, B=1011, C=1010, D=0011 -> max is B=1011.
+    CoruscantUnit unit(smallParams(4, 4));
+    std::vector<BitVector> cands = {
+        BitVector::fromUint64(4, 0b0101), // A
+        BitVector::fromUint64(4, 0b1011), // B
+        BitVector::fromUint64(4, 0b1010), // C
+        BitVector::fromUint64(4, 0b0011), // D
+    };
+    auto mx = unit.maxOfRows(cands, 4);
+    EXPECT_EQ(mx.toUint64(), 0b1011u);
+}
+
+TEST(UnitMax, AllZeroCandidates)
+{
+    CoruscantUnit unit(smallParams(7, 8));
+    std::vector<BitVector> cands(7, BitVector(8));
+    EXPECT_EQ(unit.maxOfRows(cands, 8).toUint64(), 0u);
+}
+
+TEST(UnitMax, DuplicateMaxima)
+{
+    CoruscantUnit unit(smallParams(7, 8));
+    std::vector<BitVector> cands = {
+        BitVector::fromUint64(8, 200), BitVector::fromUint64(8, 200),
+        BitVector::fromUint64(8, 199)};
+    EXPECT_EQ(unit.maxOfRows(cands, 8).toUint64(), 200u);
+}
+
+TEST(UnitMax, TwSavesCyclesVersusFullShifts)
+{
+    // Paper Sec. IV-B: TW with segmented shifting reduces max-function
+    // cycles by 28.5% at TRD = 7.
+    CoruscantUnit unit(smallParams(7, 8));
+    std::vector<BitVector> cands;
+    Rng rng(3);
+    for (int i = 0; i < 7; ++i)
+        cands.push_back(BitVector::fromUint64(8, rng.next() & 0xFF));
+    unit.resetCosts();
+    unit.maxOfRows(cands, 8, 0, true);
+    auto tw_cycles = unit.ledger().cycles();
+    unit.resetCosts();
+    unit.maxOfRows(cands, 8, 0, false);
+    auto shift_cycles = unit.ledger().cycles();
+    double saving = 1.0 - static_cast<double>(tw_cycles) /
+                              static_cast<double>(shift_cycles);
+    EXPECT_GT(saving, 0.20);
+    EXPECT_LT(saving, 0.40);
+}
+
+TEST(UnitRelu, ZeroesNegativeLanes)
+{
+    CoruscantUnit unit(smallParams(7, 32));
+    // 8-bit two's complement lanes: -3, 100, -128, 0.
+    auto row = packLanes(32, 8, {0xFD, 100, 0x80, 0});
+    auto out = unit.relu(row, 8);
+    EXPECT_EQ(out.sliceUint64(0, 8), 0u);
+    EXPECT_EQ(out.sliceUint64(8, 8), 100u);
+    EXPECT_EQ(out.sliceUint64(16, 8), 0u);
+    EXPECT_EQ(out.sliceUint64(24, 8), 0u);
+}
+
+TEST(UnitRelu, CostIsTwoCycles)
+{
+    CoruscantUnit unit(smallParams(7, 32));
+    auto row = packLanes(32, 8, {1, 2, 3, 4});
+    unit.resetCosts();
+    unit.relu(row, 8);
+    EXPECT_EQ(unit.ledger().cycles(), 2u);
+}
+
+} // namespace
+} // namespace coruscant

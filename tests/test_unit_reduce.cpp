@@ -1,0 +1,159 @@
+/**
+ * @file
+ * CoruscantUnit 7->3 / 3->2 carry-save reduction: sum preservation,
+ * cost, and lane isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/coruscant_unit.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace coruscant {
+namespace {
+
+DeviceParams
+smallParams(std::size_t trd, std::size_t wires = 64)
+{
+    DeviceParams p = DeviceParams::withTrd(trd);
+    p.wiresPerDbc = wires;
+    return p;
+}
+
+BitVector
+randomRow(Rng &rng, std::size_t width)
+{
+    BitVector row(width);
+    for (std::size_t w = 0; w < width; ++w)
+        row.set(w, rng.nextBool());
+    return row;
+}
+
+std::uint64_t
+laneSum(const std::vector<BitVector> &rows, std::size_t lane,
+        std::size_t block)
+{
+    std::uint64_t s = 0;
+    for (const auto &r : rows)
+        s += r.sliceUint64(lane * block, block);
+    return s;
+}
+
+struct ReduceCase
+{
+    std::size_t trd;
+    std::size_t rows;
+    std::size_t block;
+};
+
+class ReduceSweep : public ::testing::TestWithParam<ReduceCase>
+{};
+
+/** Property: sum(inputs) == S + C + C' per lane, modulo the lane. */
+TEST_P(ReduceSweep, PreservesLaneSums)
+{
+    auto [trd, m, block] = GetParam();
+    CoruscantUnit unit(smallParams(trd, 64));
+    std::size_t lanes = 64 / block;
+    std::uint64_t mask = block >= 64 ? ~0ULL : ((1ULL << block) - 1);
+    Rng rng(trd * 31 + m * 7 + block);
+    for (int iter = 0; iter < 25; ++iter) {
+        std::vector<BitVector> rows;
+        for (std::size_t i = 0; i < m; ++i)
+            rows.push_back(randomRow(rng, 64));
+        auto red = unit.reduce(rows, block);
+        std::vector<BitVector> outs = {red.sum, red.carry};
+        if (red.hasSuperCarry)
+            outs.push_back(red.superCarry);
+        for (std::size_t l = 0; l < lanes; ++l) {
+            EXPECT_EQ(laneSum(outs, l, block) & mask,
+                      laneSum(rows, l, block) & mask)
+                << "lane " << l << " iter " << iter;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TrdRowBlockSweep, ReduceSweep,
+    ::testing::Values(ReduceCase{3, 2, 8}, ReduceCase{3, 3, 8},
+                      ReduceCase{3, 3, 16}, ReduceCase{5, 4, 8},
+                      ReduceCase{5, 5, 8}, ReduceCase{7, 4, 8},
+                      ReduceCase{7, 6, 8}, ReduceCase{7, 7, 8},
+                      ReduceCase{7, 7, 16}, ReduceCase{7, 7, 32}),
+    [](const ::testing::TestParamInfo<ReduceCase> &info) {
+        return "trd" + std::to_string(info.param.trd) + "_m" +
+               std::to_string(info.param.rows) + "_b" +
+               std::to_string(info.param.block);
+    });
+
+TEST(UnitReduce, PaperFourCycleCost)
+{
+    // Paper Sec. IV-A: each 7->3 reduction is O(1), 4 cycles.
+    CoruscantUnit unit(smallParams(7, 64));
+    std::vector<BitVector> rows(7, BitVector(64, true));
+    unit.resetCosts();
+    unit.reduce(rows, 8);
+    EXPECT_EQ(unit.ledger().cycles(), 4u);
+}
+
+TEST(UnitReduce, Trd3ReductionIsThreeCycles)
+{
+    // 3->2 has no super carry: TR + 2 write phases.
+    CoruscantUnit unit(smallParams(3, 64));
+    std::vector<BitVector> rows(3, BitVector(64, true));
+    unit.resetCosts();
+    auto red = unit.reduce(rows, 8);
+    EXPECT_FALSE(red.hasSuperCarry);
+    EXPECT_EQ(unit.ledger().cycles(), 3u);
+}
+
+TEST(UnitReduce, SevenOnesRowsGiveSevenPerColumn)
+{
+    CoruscantUnit unit(smallParams(7, 16));
+    std::vector<BitVector> rows(7, BitVector(16, true));
+    auto red = unit.reduce(rows, 16);
+    // t = 7 everywhere: S = 1, C = 1 (shifted), C' = 1 (shifted 2).
+    EXPECT_EQ(red.sum.popcount(), 16u);
+    EXPECT_EQ(red.carry.sliceUint64(0, 16), 0xFFFEu);
+    EXPECT_EQ(red.superCarry.sliceUint64(0, 16), 0xFFFCu);
+}
+
+TEST(UnitReduce, CarriesMaskedAtLaneBoundaries)
+{
+    CoruscantUnit unit(smallParams(7, 16));
+    // Two 8-bit lanes; ones only in the top column of lane 0.
+    BitVector row(16);
+    row.set(7, true);
+    std::vector<BitVector> rows(7, row);
+    auto red = unit.reduce(rows, 8);
+    // Carry would land on wire 8 (lane 1) and super carry on wire 9:
+    // both must be masked.
+    EXPECT_EQ(red.carry.popcount(), 0u);
+    EXPECT_EQ(red.superCarry.popcount(), 0u);
+    EXPECT_TRUE(red.sum.get(7));
+}
+
+TEST(UnitReduce, RejectsOversizedBatch)
+{
+    CoruscantUnit unit(smallParams(7, 16));
+    std::vector<BitVector> rows(8, BitVector(16));
+    EXPECT_THROW(unit.reduce(rows, 8), FatalError);
+}
+
+TEST(UnitReduce, SmallTrdLimitedToThreeRows)
+{
+    // Without a super carry (TRD < 5), a four-row batch would lose
+    // the weight-4 bit whenever a column holds four ones.
+    CoruscantUnit unit4(smallParams(4, 16));
+    std::vector<BitVector> four(4, BitVector(16, true));
+    EXPECT_THROW(unit4.reduce(four, 8), FatalError);
+    std::vector<BitVector> three(3, BitVector(16, true));
+    auto red = unit4.reduce(three, 8);
+    EXPECT_FALSE(red.hasSuperCarry);
+    // All-ones columns: t = 3 -> S = 1, C = 1.
+    EXPECT_EQ(red.sum.popcount(), 16u);
+}
+
+} // namespace
+} // namespace coruscant

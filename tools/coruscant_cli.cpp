@@ -1,0 +1,245 @@
+/**
+ * @file
+ * coruscant_cli — command-line driver for the simulator.
+ *
+ * Subcommands:
+ *   ops         operation costs for a TRD/width (Table III view)
+ *   area        PIM area overheads (Table I view)
+ *   bitmap      bitmap-index query experiment (Fig. 12 view)
+ *   polybench   kernel system comparison (Fig. 10/11 view)
+ *   cnn         CNN throughput table (Table IV view)
+ *   reliability analytical error rates (Table V view)
+ *
+ * Options use --key value pairs; `coruscant_cli help` lists them.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/bitmap/bitmap_index.hpp"
+#include "apps/cnn/throughput_model.hpp"
+#include "apps/polybench/system_model.hpp"
+#include "core/op_cost.hpp"
+#include "dwm/area_model.hpp"
+#include "reliability/error_model.hpp"
+#include "util/logging.hpp"
+
+using namespace coruscant;
+
+namespace {
+
+using Options = std::map<std::string, std::string>;
+
+Options
+parseOptions(int argc, char **argv, int first)
+{
+    Options opts;
+    for (int i = first; i + 1 < argc; i += 2) {
+        std::string key = argv[i];
+        if (key.rfind("--", 0) != 0) {
+            std::fprintf(stderr, "unexpected argument '%s'\n",
+                         argv[i]);
+            std::exit(2);
+        }
+        opts[key.substr(2)] = argv[i + 1];
+    }
+    return opts;
+}
+
+std::size_t
+getSize(const Options &o, const std::string &key, std::size_t dflt)
+{
+    auto it = o.find(key);
+    return it == o.end()
+               ? dflt
+               : static_cast<std::size_t>(std::stoull(it->second));
+}
+
+double
+getDouble(const Options &o, const std::string &key, double dflt)
+{
+    auto it = o.find(key);
+    return it == o.end() ? dflt : std::stod(it->second);
+}
+
+std::string
+getString(const Options &o, const std::string &key,
+          const std::string &dflt)
+{
+    auto it = o.find(key);
+    return it == o.end() ? dflt : it->second;
+}
+
+int
+cmdOps(const Options &o)
+{
+    std::size_t trd = getSize(o, "trd", 7);
+    std::size_t bits = getSize(o, "bits", 8);
+    CoruscantCostModel cost(trd);
+    std::printf("CORUSCANT operation costs (TRD=%zu, %zu-bit):\n", trd,
+                bits);
+    auto p = [&](const char *name, OpCost c) {
+        std::printf("  %-28s %6llu cycles  %10.2f pJ\n", name,
+                    static_cast<unsigned long long>(c.cycles),
+                    c.energyPj);
+    };
+    p("2-operand add", cost.add(2, bits));
+    p("max-arity add", cost.add(cost.maxAddOperands(), bits));
+    p("multiply (CSA)", cost.multiply(bits));
+    p("multiply (arbitrary)",
+      cost.multiply(bits, MulStrategy::Arbitrary));
+    p("bulk AND (TRD operands)", cost.bulkBitwise(trd));
+    p("7->3 reduction", cost.reduce());
+    p("max (TRD candidates)", cost.max(trd, bits));
+    p("NMR vote (N=3)", cost.nmrVote(3));
+    return 0;
+}
+
+int
+cmdArea(const Options &)
+{
+    AreaModel model;
+    std::printf("PIM area overhead (1 PIM tile per subarray):\n");
+    std::printf("  ADD2          %.1f %%\n",
+                100 * model.memoryOverheadFraction(
+                          PimFeatureSet::add2()));
+    std::printf("  ADD5          %.1f %%\n",
+                100 * model.memoryOverheadFraction(
+                          PimFeatureSet::add5()));
+    std::printf("  MUL+ADD5      %.1f %%\n",
+                100 * model.memoryOverheadFraction(
+                          PimFeatureSet::mulAdd5()));
+    std::printf("  MUL+ADD5+BBO  %.1f %%\n",
+                100 * model.memoryOverheadFraction(
+                          PimFeatureSet::mulAdd5Bbo()));
+    return 0;
+}
+
+int
+cmdBitmap(const Options &o)
+{
+    std::size_t users = getSize(o, "users", 1u << 20);
+    std::size_t weeks = getSize(o, "weeks", 4);
+    auto db = BitmapDatabase::synthesize(users, weeks);
+    BitmapQueryEngine eng(db);
+    std::printf("bitmap query over %zu users:\n", users);
+    for (std::size_t w = 2; w <= weeks; ++w) {
+        auto cpu = eng.runCpuDram(w);
+        auto elp = eng.runElp2im(w);
+        auto cor = eng.runCoruscant(w);
+        std::printf("  w=%zu matches=%llu  cpu=%llu elp2im=%llu "
+                    "coruscant=%llu cycles (%.2fx over elp2im)\n",
+                    w, static_cast<unsigned long long>(cor.matches),
+                    static_cast<unsigned long long>(cpu.cycles),
+                    static_cast<unsigned long long>(elp.cycles),
+                    static_cast<unsigned long long>(cor.cycles),
+                    static_cast<double>(elp.cycles) /
+                        static_cast<double>(cor.cycles));
+    }
+    return 0;
+}
+
+int
+cmdPolybench(const Options &o)
+{
+    std::size_t n = getSize(o, "size", 48);
+    PolybenchSystemModel model;
+    std::printf("polybench system comparison (n=%zu):\n", n);
+    for (const auto &run : runAllPolybench(n)) {
+        auto r = model.evaluate(run);
+        std::printf("  %-10s dwm/pim=%.2f dram/pim=%.2f "
+                    "energy=%.1fx\n",
+                    r.kernel.c_str(), r.latencyGainVsDwm(),
+                    r.latencyGainVsDram(), r.energyGain());
+    }
+    return 0;
+}
+
+int
+cmdCnn(const Options &o)
+{
+    std::string net_name = getString(o, "network", "alexnet");
+    std::string mode_name = getString(o, "mode", "fp");
+    CnnNetwork net = net_name == "lenet5" ? CnnNetwork::lenet5()
+                                          : CnnNetwork::alexnet();
+    CnnMode mode = mode_name == "twn" ? CnnMode::TernaryWeight
+                   : mode_name == "bwn" ? CnnMode::BinaryWeight
+                                        : CnnMode::FullPrecision;
+    CnnThroughputModel model;
+    std::printf("%s, %s:\n", net.name.c_str(), cnnModeName(mode));
+    for (const auto &cell : model.table(net, mode))
+        std::printf("  %-12s %10.1f FPS\n",
+                    cnnSchemeName(cell.scheme), cell.fps);
+    return 0;
+}
+
+int
+cmdReliability(const Options &o)
+{
+    std::size_t trd = getSize(o, "trd", 7);
+    double p = getDouble(o, "pfault", 1e-6);
+    TrErrorModel m(trd, p);
+    std::printf("error rates (TRD=%zu, p_TR=%g):\n", trd, p);
+    std::printf("  AND/OR/C' per bit : %.3g\n",
+                m.perBitOrAndSuperCarry());
+    std::printf("  XOR per bit       : %.3g\n", m.perBitXor());
+    std::printf("  C per bit         : %.3g\n", m.perBitCarry());
+    std::printf("  8-bit add         : %.3g\n", m.addError(8));
+    std::printf("  8-bit multiply    : %.3g\n", m.multiplyError(8));
+    std::printf("  add with TMR      : %.3g\n", m.nmrAddError(3, 8));
+    if (trd >= 5)
+        std::printf("  add with N=5      : %.3g\n",
+                    m.nmrAddError(5, 8));
+    return 0;
+}
+
+int
+usage()
+{
+    std::printf(
+        "usage: coruscant_cli <command> [--key value ...]\n\n"
+        "commands:\n"
+        "  ops         [--trd 7] [--bits 8]     operation costs\n"
+        "  area                                 PIM area overheads\n"
+        "  bitmap      [--users N] [--weeks 4]  Fig. 12 experiment\n"
+        "  polybench   [--size 48]              Fig. 10/11 experiment\n"
+        "  cnn         [--network alexnet|lenet5] [--mode fp|twn|bwn]\n"
+        "  reliability [--trd 7] [--pfault 1e-6]\n");
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    Options opts = parseOptions(argc, argv, 2);
+    try {
+        if (cmd == "ops")
+            return cmdOps(opts);
+        if (cmd == "area")
+            return cmdArea(opts);
+        if (cmd == "bitmap")
+            return cmdBitmap(opts);
+        if (cmd == "polybench")
+            return cmdPolybench(opts);
+        if (cmd == "cnn")
+            return cmdCnn(opts);
+        if (cmd == "reliability")
+            return cmdReliability(opts);
+        if (cmd == "help")
+            return usage() == 1 ? 0 : 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return usage();
+}
