@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_large_reduction.dir/ablation_large_reduction.cpp.o"
+  "CMakeFiles/ablation_large_reduction.dir/ablation_large_reduction.cpp.o.d"
+  "ablation_large_reduction"
+  "ablation_large_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_large_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

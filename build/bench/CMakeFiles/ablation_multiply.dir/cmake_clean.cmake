@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multiply.dir/ablation_multiply.cpp.o"
+  "CMakeFiles/ablation_multiply.dir/ablation_multiply.cpp.o.d"
+  "ablation_multiply"
+  "ablation_multiply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multiply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trd_blocksize.dir/ablation_trd_blocksize.cpp.o"
+  "CMakeFiles/ablation_trd_blocksize.dir/ablation_trd_blocksize.cpp.o.d"
+  "ablation_trd_blocksize"
+  "ablation_trd_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trd_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

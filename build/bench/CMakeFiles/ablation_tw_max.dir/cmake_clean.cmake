@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tw_max.dir/ablation_tw_max.cpp.o"
+  "CMakeFiles/ablation_tw_max.dir/ablation_tw_max.cpp.o.d"
+  "ablation_tw_max"
+  "ablation_tw_max.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tw_max.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

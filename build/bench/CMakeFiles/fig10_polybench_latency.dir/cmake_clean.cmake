@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_polybench_latency.dir/fig10_polybench_latency.cpp.o"
+  "CMakeFiles/fig10_polybench_latency.dir/fig10_polybench_latency.cpp.o.d"
+  "fig10_polybench_latency"
+  "fig10_polybench_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_polybench_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

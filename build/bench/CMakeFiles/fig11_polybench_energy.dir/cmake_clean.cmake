@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_polybench_energy.dir/fig11_polybench_energy.cpp.o"
+  "CMakeFiles/fig11_polybench_energy.dir/fig11_polybench_energy.cpp.o.d"
+  "fig11_polybench_energy"
+  "fig11_polybench_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_polybench_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_bitmap.dir/fig12_bitmap.cpp.o"
+  "CMakeFiles/fig12_bitmap.dir/fig12_bitmap.cpp.o.d"
+  "fig12_bitmap"
+  "fig12_bitmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_bitmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_ops.dir/table3_ops.cpp.o"
+  "CMakeFiles/table3_ops.dir/table3_ops.cpp.o.d"
+  "table3_ops"
+  "table3_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

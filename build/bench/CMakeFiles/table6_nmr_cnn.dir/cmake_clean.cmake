@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_nmr_cnn.dir/table6_nmr_cnn.cpp.o"
+  "CMakeFiles/table6_nmr_cnn.dir/table6_nmr_cnn.cpp.o.d"
+  "table6_nmr_cnn"
+  "table6_nmr_cnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_nmr_cnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bitmap_query.dir/bitmap_query.cpp.o"
+  "CMakeFiles/example_bitmap_query.dir/bitmap_query.cpp.o.d"
+  "example_bitmap_query"
+  "example_bitmap_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bitmap_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

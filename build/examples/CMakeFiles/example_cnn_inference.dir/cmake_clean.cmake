@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cnn_inference.dir/cnn_inference.cpp.o"
+  "CMakeFiles/example_cnn_inference.dir/cnn_inference.cpp.o.d"
+  "example_cnn_inference"
+  "example_cnn_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cnn_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

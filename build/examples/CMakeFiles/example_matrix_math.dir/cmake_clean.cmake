@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_matrix_math.dir/matrix_math.cpp.o"
+  "CMakeFiles/example_matrix_math.dir/matrix_math.cpp.o.d"
+  "example_matrix_math"
+  "example_matrix_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_matrix_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

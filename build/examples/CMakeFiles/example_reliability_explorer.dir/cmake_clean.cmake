@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_reliability_explorer.dir/reliability_explorer.cpp.o"
+  "CMakeFiles/example_reliability_explorer.dir/reliability_explorer.cpp.o.d"
+  "example_reliability_explorer"
+  "example_reliability_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_reliability_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

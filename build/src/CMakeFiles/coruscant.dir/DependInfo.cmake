@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bitmap/bitmap_index.cpp" "src/CMakeFiles/coruscant.dir/apps/bitmap/bitmap_index.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/apps/bitmap/bitmap_index.cpp.o.d"
+  "/root/repo/src/apps/cnn/network.cpp" "src/CMakeFiles/coruscant.dir/apps/cnn/network.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/apps/cnn/network.cpp.o.d"
+  "/root/repo/src/apps/cnn/pim_executor.cpp" "src/CMakeFiles/coruscant.dir/apps/cnn/pim_executor.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/apps/cnn/pim_executor.cpp.o.d"
+  "/root/repo/src/apps/cnn/quantized_ops.cpp" "src/CMakeFiles/coruscant.dir/apps/cnn/quantized_ops.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/apps/cnn/quantized_ops.cpp.o.d"
+  "/root/repo/src/apps/cnn/throughput_model.cpp" "src/CMakeFiles/coruscant.dir/apps/cnn/throughput_model.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/apps/cnn/throughput_model.cpp.o.d"
+  "/root/repo/src/apps/polybench/kernels.cpp" "src/CMakeFiles/coruscant.dir/apps/polybench/kernels.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/apps/polybench/kernels.cpp.o.d"
+  "/root/repo/src/apps/polybench/system_model.cpp" "src/CMakeFiles/coruscant.dir/apps/polybench/system_model.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/apps/polybench/system_model.cpp.o.d"
+  "/root/repo/src/arch/address.cpp" "src/CMakeFiles/coruscant.dir/arch/address.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/arch/address.cpp.o.d"
+  "/root/repo/src/arch/dwm_memory.cpp" "src/CMakeFiles/coruscant.dir/arch/dwm_memory.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/arch/dwm_memory.cpp.o.d"
+  "/root/repo/src/arch/trace.cpp" "src/CMakeFiles/coruscant.dir/arch/trace.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/arch/trace.cpp.o.d"
+  "/root/repo/src/baselines/cpu_system.cpp" "src/CMakeFiles/coruscant.dir/baselines/cpu_system.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/baselines/cpu_system.cpp.o.d"
+  "/root/repo/src/baselines/dram_adder.cpp" "src/CMakeFiles/coruscant.dir/baselines/dram_adder.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/baselines/dram_adder.cpp.o.d"
+  "/root/repo/src/baselines/dram_pim.cpp" "src/CMakeFiles/coruscant.dir/baselines/dram_pim.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/baselines/dram_pim.cpp.o.d"
+  "/root/repo/src/baselines/dram_subarray.cpp" "src/CMakeFiles/coruscant.dir/baselines/dram_subarray.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/baselines/dram_subarray.cpp.o.d"
+  "/root/repo/src/baselines/dwm_pim_baselines.cpp" "src/CMakeFiles/coruscant.dir/baselines/dwm_pim_baselines.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/baselines/dwm_pim_baselines.cpp.o.d"
+  "/root/repo/src/baselines/dwnn_device.cpp" "src/CMakeFiles/coruscant.dir/baselines/dwnn_device.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/baselines/dwnn_device.cpp.o.d"
+  "/root/repo/src/baselines/pinatubo.cpp" "src/CMakeFiles/coruscant.dir/baselines/pinatubo.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/baselines/pinatubo.cpp.o.d"
+  "/root/repo/src/baselines/spim_device.cpp" "src/CMakeFiles/coruscant.dir/baselines/spim_device.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/baselines/spim_device.cpp.o.d"
+  "/root/repo/src/controller/cpim_isa.cpp" "src/CMakeFiles/coruscant.dir/controller/cpim_isa.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/controller/cpim_isa.cpp.o.d"
+  "/root/repo/src/controller/event_sim.cpp" "src/CMakeFiles/coruscant.dir/controller/event_sim.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/controller/event_sim.cpp.o.d"
+  "/root/repo/src/controller/memory_controller.cpp" "src/CMakeFiles/coruscant.dir/controller/memory_controller.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/controller/memory_controller.cpp.o.d"
+  "/root/repo/src/controller/pim_program.cpp" "src/CMakeFiles/coruscant.dir/controller/pim_program.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/controller/pim_program.cpp.o.d"
+  "/root/repo/src/controller/queue_model.cpp" "src/CMakeFiles/coruscant.dir/controller/queue_model.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/controller/queue_model.cpp.o.d"
+  "/root/repo/src/core/coruscant_unit.cpp" "src/CMakeFiles/coruscant.dir/core/coruscant_unit.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/core/coruscant_unit.cpp.o.d"
+  "/root/repo/src/core/op_cost.cpp" "src/CMakeFiles/coruscant.dir/core/op_cost.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/core/op_cost.cpp.o.d"
+  "/root/repo/src/core/pim_logic.cpp" "src/CMakeFiles/coruscant.dir/core/pim_logic.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/core/pim_logic.cpp.o.d"
+  "/root/repo/src/core/unit_arith.cpp" "src/CMakeFiles/coruscant.dir/core/unit_arith.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/core/unit_arith.cpp.o.d"
+  "/root/repo/src/core/unit_misc.cpp" "src/CMakeFiles/coruscant.dir/core/unit_misc.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/core/unit_misc.cpp.o.d"
+  "/root/repo/src/core/unit_multiply.cpp" "src/CMakeFiles/coruscant.dir/core/unit_multiply.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/core/unit_multiply.cpp.o.d"
+  "/root/repo/src/dwm/alignment_guard.cpp" "src/CMakeFiles/coruscant.dir/dwm/alignment_guard.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/dwm/alignment_guard.cpp.o.d"
+  "/root/repo/src/dwm/area_model.cpp" "src/CMakeFiles/coruscant.dir/dwm/area_model.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/dwm/area_model.cpp.o.d"
+  "/root/repo/src/dwm/dbc.cpp" "src/CMakeFiles/coruscant.dir/dwm/dbc.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/dwm/dbc.cpp.o.d"
+  "/root/repo/src/dwm/device_params.cpp" "src/CMakeFiles/coruscant.dir/dwm/device_params.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/dwm/device_params.cpp.o.d"
+  "/root/repo/src/dwm/nanowire.cpp" "src/CMakeFiles/coruscant.dir/dwm/nanowire.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/dwm/nanowire.cpp.o.d"
+  "/root/repo/src/reliability/error_model.cpp" "src/CMakeFiles/coruscant.dir/reliability/error_model.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/reliability/error_model.cpp.o.d"
+  "/root/repo/src/reliability/fault_campaign.cpp" "src/CMakeFiles/coruscant.dir/reliability/fault_campaign.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/reliability/fault_campaign.cpp.o.d"
+  "/root/repo/src/util/bit_vector.cpp" "src/CMakeFiles/coruscant.dir/util/bit_vector.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/util/bit_vector.cpp.o.d"
+  "/root/repo/src/util/csd.cpp" "src/CMakeFiles/coruscant.dir/util/csd.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/util/csd.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/coruscant.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/coruscant.dir/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

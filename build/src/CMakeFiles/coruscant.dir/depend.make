@@ -1,0 +1,2 @@
+# Empty dependencies file for coruscant.
+# This may be replaced when dependencies are built.

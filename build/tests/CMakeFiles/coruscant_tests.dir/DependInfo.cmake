@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alignment_guard.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_alignment_guard.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_alignment_guard.cpp.o.d"
+  "/root/repo/tests/test_area_model.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_area_model.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_area_model.cpp.o.d"
+  "/root/repo/tests/test_baseline_devices.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_baseline_devices.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_baseline_devices.cpp.o.d"
+  "/root/repo/tests/test_baseline_models.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_baseline_models.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_baseline_models.cpp.o.d"
+  "/root/repo/tests/test_bit_vector.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_bit_vector.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_bit_vector.cpp.o.d"
+  "/root/repo/tests/test_bitmap.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_bitmap.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_bitmap.cpp.o.d"
+  "/root/repo/tests/test_cnn_model.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_cnn_model.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_cnn_model.cpp.o.d"
+  "/root/repo/tests/test_controller.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_controller.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_controller.cpp.o.d"
+  "/root/repo/tests/test_csd.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_csd.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_csd.cpp.o.d"
+  "/root/repo/tests/test_dbc.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_dbc.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_dbc.cpp.o.d"
+  "/root/repo/tests/test_device_params.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_device_params.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_device_params.cpp.o.d"
+  "/root/repo/tests/test_dram_adder.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_dram_adder.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_dram_adder.cpp.o.d"
+  "/root/repo/tests/test_dram_pim.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_dram_pim.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_dram_pim.cpp.o.d"
+  "/root/repo/tests/test_event_sim.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_event_sim.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_event_sim.cpp.o.d"
+  "/root/repo/tests/test_exhaustive.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_exhaustive.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_exhaustive.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_memory.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_memory.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_memory.cpp.o.d"
+  "/root/repo/tests/test_nanowire.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_nanowire.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_nanowire.cpp.o.d"
+  "/root/repo/tests/test_op_cost.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_op_cost.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_op_cost.cpp.o.d"
+  "/root/repo/tests/test_pim_executor.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_pim_executor.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_pim_executor.cpp.o.d"
+  "/root/repo/tests/test_pim_logic.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_pim_logic.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_pim_logic.cpp.o.d"
+  "/root/repo/tests/test_pim_program.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_pim_program.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_pim_program.cpp.o.d"
+  "/root/repo/tests/test_polybench.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_polybench.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_polybench.cpp.o.d"
+  "/root/repo/tests/test_property_sweeps.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_property_sweeps.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_property_sweeps.cpp.o.d"
+  "/root/repo/tests/test_quantized_ops.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_quantized_ops.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_quantized_ops.cpp.o.d"
+  "/root/repo/tests/test_reduce_and_sum.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_reduce_and_sum.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_reduce_and_sum.cpp.o.d"
+  "/root/repo/tests/test_reliability.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_reliability.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_reliability.cpp.o.d"
+  "/root/repo/tests/test_step_voting.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_step_voting.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_step_voting.cpp.o.d"
+  "/root/repo/tests/test_timing.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_timing.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_timing.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_unit_add.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_unit_add.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_unit_add.cpp.o.d"
+  "/root/repo/tests/test_unit_bulk.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_unit_bulk.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_unit_bulk.cpp.o.d"
+  "/root/repo/tests/test_unit_max.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_unit_max.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_unit_max.cpp.o.d"
+  "/root/repo/tests/test_unit_multiply.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_unit_multiply.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_unit_multiply.cpp.o.d"
+  "/root/repo/tests/test_unit_nmr.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_unit_nmr.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_unit_nmr.cpp.o.d"
+  "/root/repo/tests/test_unit_reduce.cpp" "tests/CMakeFiles/coruscant_tests.dir/test_unit_reduce.cpp.o" "gcc" "tests/CMakeFiles/coruscant_tests.dir/test_unit_reduce.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/coruscant.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coruscant_cli.dir/coruscant_cli.cpp.o"
+  "CMakeFiles/coruscant_cli.dir/coruscant_cli.cpp.o.d"
+  "coruscant_cli"
+  "coruscant_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coruscant_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
