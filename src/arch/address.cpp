@@ -4,6 +4,18 @@
 
 namespace coruscant {
 
+const char *
+guardPolicyName(GuardPolicy policy)
+{
+    switch (policy) {
+      case GuardPolicy::None: return "none";
+      case GuardPolicy::PerAccess: return "per-access";
+      case GuardPolicy::PerCpim: return "per-cpim";
+      case GuardPolicy::PeriodicScrub: return "periodic-scrub";
+    }
+    return "?";
+}
+
 LineAddress
 AddressMap::decode(std::uint64_t byte_addr) const
 {

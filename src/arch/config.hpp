@@ -34,10 +34,67 @@ enum class Interleave
     RowFirst,
 };
 
+/**
+ * When the memory verifies DBC alignment with its guard wires
+ * (paper Sec. II-D: TR-based misalignment detection).
+ */
+enum class GuardPolicy
+{
+    None,          ///< no checks: shifting faults corrupt data silently
+    PerAccess,     ///< check the target DBC before every line access
+    PerCpim,       ///< controller checks src/dst DBCs around each cpim
+    PeriodicScrub, ///< sweep all materialized DBCs every N accesses
+};
+
+const char *guardPolicyName(GuardPolicy policy);
+
+/** Shift-fault injection and guarded-execution configuration. */
+struct ReliabilityConfig
+{
+    /** Probability that a single shift pulse over-/under-shifts. */
+    double shiftFaultRate = 0.0;
+
+    /** Fraction of shift faults that are over-shifts. */
+    double overShiftFraction = 0.5;
+
+    /** RNG seed for the shift-fault injector. */
+    std::uint64_t shiftFaultSeed = 1;
+
+    /**
+     * Also attach the injector to the PIM units' internal DBCs.  Their
+     * staging shifts then misalign without any guard to catch it (the
+     * controller's recompute rung is the only protection), so this is
+     * off by default and exists to study unprotected PIM compute.
+     */
+    bool faultPimUnits = false;
+
+    /** Alignment-check cadence. */
+    GuardPolicy guardPolicy = GuardPolicy::None;
+
+    /** Accesses between sweeps under GuardPolicy::PeriodicScrub. */
+    std::size_t scrubInterval = 256;
+
+    /** Retry-ladder depth for guarded cpim execution. */
+    std::size_t maxRetries = 2;
+
+    /**
+     * Corrected-fault count at which a DBC is retired and its
+     * addresses remapped to a spare (0 disables retirement).
+     */
+    std::uint64_t retireThreshold = 0;
+
+    /** Spare DBCs available for remapping retired clusters. */
+    std::size_t spareDbcs = 64;
+
+    bool guarded() const { return guardPolicy != GuardPolicy::None; }
+};
+
 /** Geometry and interface of the CORUSCANT main memory. */
 struct MemoryConfig
 {
     Interleave interleave = Interleave::BankFirst;
+
+    ReliabilityConfig reliability;
 
     std::size_t banks = 32;
     std::size_t subarraysPerBank = 64;

@@ -1,26 +1,56 @@
 #include "arch/dwm_memory.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "util/logging.hpp"
 
 namespace coruscant {
 
 DwmMainMemory::DwmMainMemory(const MemoryConfig &config)
-    : cfg(config), amap(config)
+    : cfg(config), amap(config), dbcParams(config.device)
 {
     cfg.device.validate();
+    const ReliabilityConfig &rel = cfg.reliability;
+    if (rel.guarded()) {
+        // One extra nanowire per DBC carries the alignment-guard ramp
+        // pattern; the 512 data wires stay fully usable.
+        dbcParams.wiresPerDbc += 1;
+        guard.emplace(dbcParams, dbcParams.wiresPerDbc - 1);
+    }
+    if (rel.shiftFaultRate > 0.0) {
+        shiftInjector = std::make_unique<ShiftFaultModel>(
+            rel.shiftFaultRate, rel.shiftFaultSeed,
+            rel.overShiftFraction);
+    }
 }
 
-DomainBlockCluster &
+DwmMainMemory::MemDbc &
+DwmMainMemory::materialize(std::uint64_t physical_id,
+                           std::uint64_t logical_id)
+{
+    auto it = dbcs.emplace(physical_id,
+                           std::make_unique<MemDbc>(dbcParams))
+                  .first;
+    MemDbc &state = *it->second;
+    state.logicalId = logical_id;
+    if (guard)
+        guard->install(state.dbc);
+    if (shiftInjector)
+        state.dbc.attachShiftFaults(shiftInjector.get());
+    return state;
+}
+
+DwmMainMemory::MemDbc &
 DwmMainMemory::dbcFor(const LineAddress &loc)
 {
-    std::uint64_t id = amap.dbcId(loc);
-    auto it = dbcs.find(id);
-    if (it == dbcs.end()) {
-        it = dbcs.emplace(id, std::make_unique<DomainBlockCluster>(
-                                  cfg.device))
-                 .first;
-    }
-    return *it->second;
+    std::uint64_t logical = amap.dbcId(loc);
+    auto rm = remap.find(logical);
+    std::uint64_t physical = rm == remap.end() ? logical : rm->second;
+    auto it = dbcs.find(physical);
+    if (it != dbcs.end())
+        return *it->second;
+    return materialize(physical, logical);
 }
 
 unsigned
@@ -45,12 +75,186 @@ DwmMainMemory::alignForAccess(DomainBlockCluster &dbc, std::size_t row)
     return static_cast<unsigned>(shifts);
 }
 
+DwmMainMemory::MemDbc &
+DwmMainMemory::guardMaintain(MemDbc &state, GuardReport *report)
+{
+    if (!guard)
+        return state;
+    GuardCorrection r = guard->correct(state.dbc);
+    ++guardChecks_;
+    costs.charge("guard", r.guardTrs * cfg.device.trCycles,
+                 static_cast<double>(r.guardTrs)
+                     * cfg.device.trEnergyPj(cfg.device.trd));
+    std::size_t fix_shifts = r.correctiveShifts;
+    if (fix_shifts > 0) {
+        costs.charge("guard_fix",
+                     fix_shifts * cfg.device.shiftCycles,
+                     static_cast<double>(fix_shifts)
+                         * static_cast<double>(dbcParams.wiresPerDbc)
+                         * cfg.device.shiftEnergyPj);
+    }
+    bool misaligned = r.initial != AlignmentStatus::Aligned;
+    if (misaligned)
+        ++detected_;
+    if (r.aligned) {
+        corrected_ += r.correctiveShifts;
+    } else {
+        ++uncorrectable_;
+    }
+    if (!r.aligned || r.patternDamaged) {
+        // Rewrite the guard track at the believed alignment.  For a
+        // damaged pattern (the edge guard bit an over-shift at maximum
+        // excursion pushed off the wire) this is plain repair of a
+        // cluster the ladder proved aligned.  For an uncorrectable
+        // cluster it is a structure reset: the event is flagged (data
+        // must be treated as lost, like a remapped bad sector), and
+        // bookkeeping, pattern, and future accesses are consistent
+        // again from here on instead of false-alarming forever.
+        guard->install(state.dbc);
+        std::size_t rows = cfg.device.domainsPerWire;
+        costs.charge("guard_reset",
+                     rows * (cfg.device.shiftCycles
+                             + cfg.device.writeCycles),
+                     static_cast<double>(rows)
+                         * (cfg.device.shiftEnergyPj
+                            + cfg.device.writeEnergyPj));
+    }
+    state.corrected += r.corrected ? r.correctiveShifts : 0;
+    if (report) {
+        report->checked = true;
+        report->misaligned = misaligned;
+        report->corrected = r.corrected;
+        report->uncorrectable = !r.aligned;
+    }
+    const ReliabilityConfig &rel = cfg.reliability;
+    bool wear_out = rel.retireThreshold > 0 &&
+                    state.corrected >= rel.retireThreshold;
+    if (wear_out || (!r.aligned && rel.retireThreshold > 0)) {
+        if (MemDbc *fresh = retire(state))
+            return *fresh;
+    }
+    return state;
+}
+
+DwmMainMemory::MemDbc *
+DwmMainMemory::retire(MemDbc &state)
+{
+    if (sparesUsed >= cfg.reliability.spareDbcs) {
+        ++retireFailures;
+        return nullptr;
+    }
+    std::uint64_t logical = state.logicalId;
+    auto rm = remap.find(logical);
+    std::uint64_t old_physical = rm == remap.end() ? logical
+                                                   : rm->second;
+    std::uint64_t spare_id = cfg.totalDbcs() + sparesUsed;
+    ++sparesUsed;
+    MemDbc &fresh = materialize(spare_id, logical);
+    // Best-effort migration: if the old cluster is still misaligned
+    // the copied rows are off by the residual misalignment — the
+    // retirement saved the cluster, not necessarily its contents.
+    std::size_t rows = cfg.device.domainsPerWire;
+    for (std::size_t r = 0; r < rows; ++r)
+        fresh.dbc.pokeRow(r, state.dbc.peekRow(r));
+    costs.charge("retire",
+                 rows * (cfg.device.readCycles + cfg.device.writeCycles),
+                 static_cast<double>(rows)
+                     * static_cast<double>(dbcParams.wiresPerDbc)
+                     * (cfg.device.readEnergyPj
+                        + cfg.device.writeEnergyPj));
+    remap[logical] = spare_id;
+    dbcs.erase(old_physical); // invalidates `state`
+    return &fresh;
+}
+
+void
+DwmMainMemory::tickAccess()
+{
+    ++accesses;
+    const ReliabilityConfig &rel = cfg.reliability;
+    if (rel.guardPolicy == GuardPolicy::PeriodicScrub &&
+        rel.scrubInterval > 0 && accesses % rel.scrubInterval == 0) {
+        scrubAll();
+    }
+}
+
+GuardReport
+DwmMainMemory::checkLine(std::uint64_t byte_addr)
+{
+    GuardReport report;
+    if (!guard)
+        return report;
+    LineAddress loc = amap.decode(byte_addr);
+    guardMaintain(dbcFor(loc), &report);
+    return report;
+}
+
+ScrubReport
+DwmMainMemory::scrubAll()
+{
+    ScrubReport report;
+    if (!guard)
+        return report;
+    // unordered_map order is not deterministic; sweep sorted so runs
+    // with a fixed seed are bit-identical.
+    std::vector<std::uint64_t> ids;
+    ids.reserve(dbcs.size());
+    for (const auto &[id, _] : dbcs)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (std::uint64_t id : ids) {
+        auto it = dbcs.find(id);
+        if (it == dbcs.end())
+            continue; // retired earlier in this sweep
+        GuardReport one;
+        guardMaintain(*it->second, &one);
+        ++report.scanned;
+        if (one.corrected)
+            ++report.corrected;
+        if (one.uncorrectable)
+            ++report.uncorrectable;
+    }
+    return report;
+}
+
+DwmMainMemory::MemDbc &
+DwmMainMemory::alignChecked(const LineAddress &loc, unsigned &shifts)
+{
+    MemDbc *state = &dbcFor(loc);
+    shifts = alignForAccess(state->dbc, loc.row);
+    if (cfg.reliability.guardPolicy == GuardPolicy::PerAccess) {
+        // Verify alignment after the access shifts and before the port
+        // touches the row: an over-/under-shift during the alignment
+        // burst is caught here, so the access never lands on a
+        // neighbouring row.  The check never moves the window, but it
+        // may retire the cluster (the replacement starts at offset
+        // zero); then realign and re-check, bounded in case the
+        // realignment shifts fault too.
+        for (int round = 0; round < 3; ++round) {
+            state = &guardMaintain(*state, nullptr);
+            if (state->dbc.rowAtPort(Port::Left) == loc.row ||
+                state->dbc.rowAtPort(Port::Right) == loc.row)
+                break;
+            shifts += alignForAccess(state->dbc, loc.row);
+        }
+    }
+    // The rounds above are best-effort; the access below must not
+    // land on an arbitrary port row, so guarantee the alignment even
+    // if the last check was skipped or the cluster was just retired.
+    if (state->dbc.rowAtPort(Port::Left) != loc.row &&
+        state->dbc.rowAtPort(Port::Right) != loc.row)
+        shifts += alignForAccess(state->dbc, loc.row);
+    return *state;
+}
+
 BitVector
 DwmMainMemory::readLine(std::uint64_t byte_addr)
 {
     LineAddress loc = amap.decode(byte_addr);
-    DomainBlockCluster &dbc = dbcFor(loc);
-    unsigned shifts = alignForAccess(dbc, loc.row);
+    tickAccess();
+    unsigned shifts = 0;
+    MemDbc &state = alignChecked(loc, shifts);
+    DomainBlockCluster &dbc = state.dbc;
     costs.charge("read", cfg.dwmTiming.readCycles(shifts),
                  static_cast<double>(cfg.device.wiresPerDbc)
                          * cfg.device.readEnergyPj +
@@ -60,7 +264,10 @@ DwmMainMemory::readLine(std::uint64_t byte_addr)
     // After alignment the row sits under one of the ports.
     Port port = dbc.rowAtPort(Port::Left) == loc.row ? Port::Left
                                                      : Port::Right;
-    return dbc.readRowAtPort(port);
+    BitVector row = dbc.readRowAtPort(port);
+    if (guard)
+        return row.slice(0, cfg.device.wiresPerDbc);
+    return row;
 }
 
 void
@@ -69,8 +276,10 @@ DwmMainMemory::writeLine(std::uint64_t byte_addr, const BitVector &data)
     fatalIf(data.size() != cfg.device.wiresPerDbc,
             "line width mismatch");
     LineAddress loc = amap.decode(byte_addr);
-    DomainBlockCluster &dbc = dbcFor(loc);
-    unsigned shifts = alignForAccess(dbc, loc.row);
+    tickAccess();
+    unsigned shifts = 0;
+    MemDbc &state = alignChecked(loc, shifts);
+    DomainBlockCluster &dbc = state.dbc;
     costs.charge("write", cfg.dwmTiming.writeCycles(shifts),
                  static_cast<double>(cfg.device.wiresPerDbc)
                          * cfg.device.writeEnergyPj +
@@ -79,7 +288,16 @@ DwmMainMemory::writeLine(std::uint64_t byte_addr, const BitVector &data)
                          * cfg.device.shiftEnergyPj);
     Port port = dbc.rowAtPort(Port::Left) == loc.row ? Port::Left
                                                      : Port::Right;
-    dbc.writeRowAtPort(port, data);
+    if (guard) {
+        // Preserve the guard wire's ramp bit for this row.
+        BitVector padded(dbcParams.wiresPerDbc);
+        padded.insert(0, data);
+        padded.set(dbcParams.wiresPerDbc - 1,
+                   guard->patternBit(loc.row));
+        dbc.writeRowAtPort(port, padded);
+    } else {
+        dbc.writeRowAtPort(port, data);
+    }
 }
 
 void
@@ -100,6 +318,20 @@ DwmMainMemory::copyLine(std::uint64_t src_addr, std::uint64_t dst_addr)
     costs.charge("rowclone", 0, 0); // marker for reporting
 }
 
+void
+DwmMainMemory::injectShiftFaultAt(std::uint64_t byte_addr,
+                                  bool toward_left)
+{
+    LineAddress loc = amap.decode(byte_addr);
+    dbcFor(loc).dbc.injectShiftFault(toward_left);
+}
+
+DomainBlockCluster &
+DwmMainMemory::dbcAt(std::uint64_t byte_addr)
+{
+    return dbcFor(amap.decode(byte_addr)).dbc;
+}
+
 CoruscantUnit &
 DwmMainMemory::pimUnit(std::size_t bank, std::size_t subarray,
                        std::size_t pim_index)
@@ -117,6 +349,8 @@ DwmMainMemory::pimUnit(std::size_t bank, std::size_t subarray,
                  .emplace(id,
                           std::make_unique<CoruscantUnit>(cfg.device))
                  .first;
+        if (shiftInjector && cfg.reliability.faultPimUnits)
+            it->second->attachShiftFaults(shiftInjector.get());
     }
     return *it->second;
 }

@@ -8,20 +8,50 @@
  * access charges the DWM DDR timing, with the precharge slot replaced
  * by the actual DW shift distance between the DBC's current port
  * alignment and the requested row — the "S" of Table II.
+ *
+ * Reliability pipeline (paper Sec. II-A, II-D, V-F): when
+ * MemoryConfig::reliability enables it, every shift pulse may over- or
+ * under-shift (ShiftFaultModel), each DBC dedicates one extra nanowire
+ * to the AlignmentGuard ramp pattern, and the memory checks/corrects
+ * alignment at the configured cadence (per access, per cpim via the
+ * controller, or by periodic scrubbing), charging guard TRs and
+ * corrective shifts to the cost ledger.  DBCs whose corrected-fault
+ * count crosses a threshold are retired: their rows are migrated to a
+ * spare DBC and the address transparently remapped.
  */
 
 #ifndef CORUSCANT_ARCH_DWM_MEMORY_HPP
 #define CORUSCANT_ARCH_DWM_MEMORY_HPP
 
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "arch/config.hpp"
 #include "core/coruscant_unit.hpp"
+#include "dwm/alignment_guard.hpp"
 #include "dwm/dbc.hpp"
+#include "dwm/shift_fault.hpp"
 #include "util/stats.hpp"
 
 namespace coruscant {
+
+/** Outcome of a guard check on one line's DBC. */
+struct GuardReport
+{
+    bool checked = false;       ///< a guard policy was active
+    bool misaligned = false;    ///< the check found a misalignment
+    bool corrected = false;     ///< corrective pulses restored alignment
+    bool uncorrectable = false; ///< cluster could not be realigned
+};
+
+/** Outcome of a full scrub sweep. */
+struct ScrubReport
+{
+    std::size_t scanned = 0;       ///< DBCs checked
+    std::size_t corrected = 0;     ///< DBCs realigned by the sweep
+    std::size_t uncorrectable = 0; ///< DBCs left misaligned
+};
 
 /** Sparse, shift-aware DWM main memory with PIM-enabled DBCs. */
 class DwmMainMemory
@@ -53,6 +83,59 @@ class DwmMainMemory
     CoruscantUnit &pimUnit(std::size_t bank, std::size_t subarray,
                            std::size_t pim_index = 0);
 
+    // --- Guarded execution ----------------------------------------------
+
+    /**
+     * Guard-check (and correct) the DBC holding @p byte_addr.  Used by
+     * the controller around cpim instructions (GuardPolicy::PerCpim)
+     * and by tests; a no-op returning checked = false when no guard is
+     * configured.  May retire the DBC (remapping its addresses).
+     */
+    GuardReport checkLine(std::uint64_t byte_addr);
+
+    /** Guard-check every materialized DBC (deterministic order). */
+    ScrubReport scrubAll();
+
+    // --- Reliability statistics -----------------------------------------
+
+    /** Guard checks performed (line checks + scrub entries). */
+    std::uint64_t guardChecks() const { return guardChecks_; }
+
+    /** Checks that found the cluster misaligned. */
+    std::uint64_t detectedMisalignments() const { return detected_; }
+
+    /** Single-position misalignments corrected (corrective pulses). */
+    std::uint64_t correctedMisalignments() const { return corrected_; }
+
+    /** Checks that could not restore alignment. */
+    std::uint64_t uncorrectableEvents() const { return uncorrectable_; }
+
+    /** DBCs retired to spares so far. */
+    std::size_t retiredDbcs() const { return sparesUsed; }
+
+    /** Retirements refused because the spare pool was exhausted. */
+    std::uint64_t retirementFailures() const { return retireFailures; }
+
+    /** Shift faults injected into this memory's DBCs so far. */
+    std::uint64_t
+    injectedShiftFaults() const
+    {
+        return shiftInjector ? shiftInjector->injectedFaults() : 0;
+    }
+
+    const ShiftFaultModel *shiftFaultInjector() const
+    {
+        return shiftInjector.get();
+    }
+
+    // --- Test / campaign backdoors --------------------------------------
+
+    /** Physically misalign the DBC holding @p byte_addr by one step. */
+    void injectShiftFaultAt(std::uint64_t byte_addr, bool toward_left);
+
+    /** Direct access to the (possibly remapped) DBC for @p byte_addr. */
+    DomainBlockCluster &dbcAt(std::uint64_t byte_addr);
+
     /** Aggregate access cost (timing charged in memory cycles). */
     const CostLedger &ledger() const { return costs; }
     void resetCosts() { costs.reset(); }
@@ -64,17 +147,59 @@ class DwmMainMemory
     std::size_t touchedDbcs() const { return dbcs.size(); }
 
   private:
-    DomainBlockCluster &dbcFor(const LineAddress &loc);
+    /** One materialized DBC plus its reliability bookkeeping. */
+    struct MemDbc
+    {
+        explicit MemDbc(const DeviceParams &params) : dbc(params) {}
+        DomainBlockCluster dbc;
+        std::uint64_t logicalId = 0; ///< pre-remap dbcId
+        std::uint64_t corrected = 0; ///< corrective pulses applied here
+    };
+
+    MemDbc &dbcFor(const LineAddress &loc);
+    MemDbc &materialize(std::uint64_t physical_id,
+                        std::uint64_t logical_id);
     unsigned alignForAccess(DomainBlockCluster &dbc, std::size_t row);
+
+    /**
+     * Align the DBC for @p loc and, under GuardPolicy::PerAccess,
+     * guard-check it after the alignment shifts (so a faulty shift is
+     * corrected before the port touches the row).  Returns the serving
+     * state and accumulates the shift count into @p shifts.
+     */
+    MemDbc &alignChecked(const LineAddress &loc, unsigned &shifts);
+
+    /**
+     * Run one guard correct() pass on @p state, charge its costs, and
+     * retire the cluster if warranted.  Returns the state serving the
+     * logical DBC afterwards (the replacement, if retired).
+     */
+    MemDbc &guardMaintain(MemDbc &state, GuardReport *report);
+
+    /** Periodic-scrub hook, called once per line access. */
+    void tickAccess();
+
+    /** Migrate @p state to a spare DBC; returns the replacement. */
+    MemDbc *retire(MemDbc &state);
 
     MemoryConfig cfg;
     AddressMap amap;
-    std::unordered_map<std::uint64_t, std::unique_ptr<DomainBlockCluster>>
-        dbcs;
+    DeviceParams dbcParams; ///< cfg.device plus the guard wire, if any
+    std::optional<AlignmentGuard> guard;
+    std::unique_ptr<ShiftFaultModel> shiftInjector;
+    std::unordered_map<std::uint64_t, std::unique_ptr<MemDbc>> dbcs;
+    std::unordered_map<std::uint64_t, std::uint64_t> remap; ///< logical->physical
     std::unordered_map<std::uint64_t, std::unique_ptr<CoruscantUnit>>
         pimUnits;
     CostLedger costs;
     std::uint64_t shiftSteps = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t guardChecks_ = 0;
+    std::uint64_t detected_ = 0;
+    std::uint64_t corrected_ = 0;
+    std::uint64_t uncorrectable_ = 0;
+    std::size_t sparesUsed = 0;
+    std::uint64_t retireFailures = 0;
 };
 
 } // namespace coruscant

@@ -1,8 +1,35 @@
 #include "controller/memory_controller.hpp"
 
+#include <iomanip>
+#include <sstream>
+
 #include "util/logging.hpp"
 
 namespace coruscant {
+
+namespace {
+
+std::string
+hexAddr(std::uint64_t addr)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << addr;
+    return os.str();
+}
+
+/** One-line instruction summary for diagnostics. */
+std::string
+describe(const CpimInstruction &inst)
+{
+    std::ostringstream os;
+    os << "cpim " << cpimOpName(inst.op) << " src="
+       << hexAddr(inst.src) << " dst=" << hexAddr(inst.dst)
+       << " operands=" << static_cast<unsigned>(inst.operands)
+       << " blocksize=" << inst.blockSize;
+    return os.str();
+}
+
+} // namespace
 
 std::uint64_t
 MemoryController::operandAddress(std::uint64_t src, std::size_t i) const
@@ -10,19 +37,17 @@ MemoryController::operandAddress(std::uint64_t src, std::size_t i) const
     LineAddress loc = mem.addressMap().decode(src);
     loc.row += i;
     fatalIf(loc.row >= mem.config().device.domainsPerWire,
-            "operand rows run past the end of the DBC");
+            "operand row ", i, " of src=", hexAddr(src),
+            " (DBC row ", loc.row, ") runs past the end of the DBC (",
+            mem.config().device.domainsPerWire, " rows)");
     return mem.addressMap().encode(loc);
 }
 
 BitVector
-MemoryController::execute(const CpimInstruction &inst)
+MemoryController::computeOnce(const CpimInstruction &inst)
 {
-    std::string err = inst.validate(mem.config().device.trd);
-    fatalIf(!err.empty(), "cpim: ", err);
-
     LineAddress src = mem.addressMap().decode(inst.src);
     CoruscantUnit &unit = mem.pimUnit(src.bank, src.subarray);
-    ++executed;
 
     // Gather operand rows (charges DWM access timing per row).
     std::vector<BitVector> ops;
@@ -62,7 +87,8 @@ MemoryController::execute(const CpimInstruction &inst)
         break;
       }
       case CpimOp::Multiply:
-        fatalIf(ops.size() != 2, "cpim mult takes two operand rows");
+        fatalIf(ops.size() != 2, describe(inst),
+                ": mult takes exactly two operand rows");
         result = unit.multiply(ops[0], ops[1], inst.blockSize / 2);
         break;
       case CpimOp::Max:
@@ -81,6 +107,81 @@ MemoryController::execute(const CpimInstruction &inst)
 
     mem.writeLine(inst.dst, result);
     return result;
+}
+
+ExecReport
+MemoryController::executeGuarded(const CpimInstruction &inst)
+{
+    std::string err = inst.validate(mem.config().device.trd);
+    fatalIf(!err.empty(), describe(inst), ": ", err);
+
+    ++executed;
+    ExecReport report;
+    const ReliabilityConfig &rel = mem.config().reliability;
+    if (rel.guardPolicy != GuardPolicy::PerCpim) {
+        // Per-access and scrub policies run inside the memory itself;
+        // an unguarded memory executes single-shot.  Surface any
+        // uncorrectable event the memory hit during this instruction.
+        std::uint64_t due_before = mem.uncorrectableEvents();
+        std::uint64_t fix_before = mem.correctedMisalignments();
+        report.result = computeOnce(inst);
+        if (mem.uncorrectableEvents() > due_before) {
+            report.outcome = ExecOutcome::Uncorrectable;
+            ++uncorrectableCount;
+        } else if (mem.correctedMisalignments() > fix_before) {
+            report.outcome = ExecOutcome::Corrected;
+        }
+        return report;
+    }
+
+    // Rung 1: realign the source and destination clusters up front so
+    // the operand reads start from a known-good position.
+    std::uint64_t last_operand =
+        operandAddress(inst.src, inst.operands - 1);
+    GuardReport pre_src = mem.checkLine(inst.src);
+    GuardReport pre_dst = mem.checkLine(inst.dst);
+    bool corrected = pre_src.corrected || pre_dst.corrected;
+    bool uncorrectable =
+        pre_src.uncorrectable || pre_dst.uncorrectable;
+    (void)last_operand; // operands share the source DBC by the ISA
+
+    // Rungs 2-3: execute, then re-check; a fault that struck between
+    // the pre-check and the post-check may have corrupted the operand
+    // reads or the result write, so re-read and recompute.
+    for (unsigned attempt = 0;; ++attempt) {
+        report.result = computeOnce(inst);
+        GuardReport post_src = mem.checkLine(inst.src);
+        GuardReport post_dst = mem.checkLine(inst.dst);
+        uncorrectable |=
+            post_src.uncorrectable || post_dst.uncorrectable;
+        if (uncorrectable)
+            break;
+        if (!post_src.misaligned && !post_dst.misaligned)
+            break; // executed against aligned clusters end to end
+        corrected = true;
+        if (attempt >= rel.maxRetries)
+            break; // ladder exhausted; keep the last (suspect) result
+        ++report.retries;
+    }
+
+    if (report.retries > 0)
+        ++retried;
+    // Rung 4: escalate.  An uncorrectable misalignment means the
+    // cluster (and possibly the operand data) is beyond the guard's
+    // reach; the caller must treat the result as untrusted.
+    if (uncorrectable) {
+        report.outcome = ExecOutcome::Uncorrectable;
+        ++uncorrectableCount;
+    } else if (corrected) {
+        report.outcome = ExecOutcome::Corrected;
+    }
+    return report;
+}
+
+BitVector
+MemoryController::execute(const CpimInstruction &inst)
+{
+    return executeGuarded(inst).result;
 }
 
 } // namespace coruscant

@@ -14,6 +14,20 @@
  *
  * Ordinary load/store traffic bypasses the PIM unit entirely (the
  * orange path of paper Fig. 4(a)) via DwmMainMemory::read/writeLine.
+ *
+ * Guarded execution (GuardPolicy::PerCpim): the controller wraps each
+ * cpim in a bounded retry ladder —
+ *
+ *   1. guard-check (and realign) the source and destination DBCs;
+ *   2. read operands, compute, write the result;
+ *   3. guard-check both DBCs again; if a misalignment was detected
+ *      and corrected mid-instruction, the operands may have been read
+ *      corrupt, so re-read, recompute, and rewrite (up to
+ *      ReliabilityConfig::maxRetries times);
+ *   4. if a check reports an uncorrectable misalignment, escalate:
+ *      the instruction is classified detected-uncorrectable (a DUE in
+ *      the DUE/SDC taxonomy) — its result cannot be trusted and the
+ *      source data may be lost.
  */
 
 #ifndef CORUSCANT_CONTROLLER_MEMORY_CONTROLLER_HPP
@@ -26,6 +40,22 @@
 
 namespace coruscant {
 
+/** How a guarded cpim instruction completed. */
+enum class ExecOutcome
+{
+    Clean,         ///< no misalignment observed anywhere
+    Corrected,     ///< misalignments detected and corrected (retried)
+    Uncorrectable, ///< a DBC could not be realigned; result untrusted
+};
+
+/** Result of one guarded cpim execution. */
+struct ExecReport
+{
+    BitVector result;
+    ExecOutcome outcome = ExecOutcome::Clean;
+    unsigned retries = 0; ///< full re-executions after post-checks
+};
+
 /** Executes cpim instructions end to end. */
 class MemoryController
 {
@@ -36,9 +66,16 @@ class MemoryController
 
     /**
      * Execute @p inst and return the result row.  Throws FatalError
-     * for ISA violations.
+     * for ISA violations.  Equivalent to executeGuarded(inst).result.
      */
     BitVector execute(const CpimInstruction &inst);
+
+    /**
+     * Execute @p inst under the memory's guard policy and report how
+     * the retry ladder resolved it.  With GuardPolicy::None or no
+     * guard configured this is a plain single-shot execution.
+     */
+    ExecReport executeGuarded(const CpimInstruction &inst);
 
     /** Byte address of operand row @p i for an instruction at @p src. */
     std::uint64_t operandAddress(std::uint64_t src, std::size_t i) const;
@@ -46,9 +83,22 @@ class MemoryController
     /** Total instructions executed. */
     std::uint64_t executedInstructions() const { return executed; }
 
+    /** Instructions that needed at least one ladder retry. */
+    std::uint64_t retriedInstructions() const { return retried; }
+
+    /** Instructions that ended detected-uncorrectable. */
+    std::uint64_t uncorrectableInstructions() const
+    {
+        return uncorrectableCount;
+    }
+
   private:
+    BitVector computeOnce(const CpimInstruction &inst);
+
     DwmMainMemory &mem;
     std::uint64_t executed = 0;
+    std::uint64_t retried = 0;
+    std::uint64_t uncorrectableCount = 0;
 };
 
 } // namespace coruscant

@@ -92,6 +92,17 @@ class CoruscantUnit
     /** Faults injected into TRs so far. */
     std::uint64_t injectedFaults() const { return faults.injectedFaults(); }
 
+    /**
+     * Attach a shifting-fault injector to the unit's internal DBC:
+     * staging/alignment shifts inside PIM operations may then silently
+     * over- or under-shift (non-owning; nullptr detaches).
+     */
+    void
+    attachShiftFaults(ShiftFaultModel *model)
+    {
+        dbc.attachShiftFaults(model);
+    }
+
     // ------------------------------------------------------------------
     // Backdoor data staging (tests and data load; charges nothing)
     // ------------------------------------------------------------------

@@ -17,18 +17,29 @@ void
 DomainBlockCluster::shiftLeft()
 {
     panicIf(!canShiftLeft(), "shift would push data off the left end");
-    std::rotate(physRows.begin(), physRows.begin() + 1, physRows.end());
-    physRows.back().fill(false);
     ++offset;
+    perturbShift(true);
 }
 
 void
 DomainBlockCluster::shiftRight()
 {
     panicIf(!canShiftRight(), "shift would push data off the right end");
-    std::rotate(physRows.begin(), physRows.end() - 1, physRows.end());
-    physRows.front().fill(false);
     --offset;
+    perturbShift(false);
+}
+
+void
+DomainBlockCluster::perturbShift(bool toward_left)
+{
+    ShiftOutcome outcome =
+        shiftFaults ? shiftFaults->sample() : ShiftOutcome::Normal;
+    // The bookkeeping (offset) always advances by one; what the pulse
+    // physically did depends on the outcome.
+    if (outcome != ShiftOutcome::UnderShift)
+        injectShiftFault(toward_left);
+    if (outcome == ShiftOutcome::OverShift)
+        injectShiftFault(toward_left);
 }
 
 bool
@@ -182,6 +193,24 @@ DomainBlockCluster::transverseReadOutsideAll(Port side) const
             counts[w] += row.get(w) ? 1 : 0;
     }
     return counts;
+}
+
+std::size_t
+DomainBlockCluster::transverseReadOutsideWire(std::size_t wire,
+                                              Port side) const
+{
+    std::size_t lo, hi; // physical range [lo, hi)
+    if (side == Port::Left) {
+        lo = 0;
+        hi = portPhysical(Port::Left);
+    } else {
+        lo = portPhysical(Port::Right) + 1;
+        hi = physRows.size();
+    }
+    std::size_t count = 0;
+    for (std::size_t i = lo; i < hi; ++i)
+        count += physRows[i].get(wire) ? 1 : 0;
+    return count;
 }
 
 void

@@ -24,6 +24,7 @@
 #include "dwm/device_params.hpp"
 #include "dwm/fault_model.hpp"
 #include "dwm/nanowire.hpp"
+#include "dwm/shift_fault.hpp"
 #include "util/bit_vector.hpp"
 
 namespace coruscant {
@@ -41,6 +42,15 @@ class DomainBlockCluster
 
     /** Data rows (distinct row addresses, Y). */
     std::size_t rows() const { return dev.domainsPerWire; }
+
+    /**
+     * Attach a shifting-fault injector: every subsequent shiftLeft /
+     * shiftRight pulse is sampled and may silently over- or
+     * under-shift the whole cluster (non-owning; nullptr detaches).
+     */
+    void attachShiftFaults(ShiftFaultModel *model) { shiftFaults = model; }
+
+    ShiftFaultModel *shiftFaultModel() const { return shiftFaults; }
 
     // --- Shifting (all wires together) -----------------------------------
 
@@ -106,6 +116,10 @@ class DomainBlockCluster
     std::vector<std::uint16_t>
     transverseReadOutsideAll(Port side) const;
 
+    /** Segmented transverse read of one outer segment on one wire. */
+    std::size_t transverseReadOutsideWire(std::size_t wire,
+                                          Port side) const;
+
     /**
      * Row-wide transverse write with segmented shift: on every wire the
      * window advances one domain toward the right port (the row under
@@ -137,9 +151,12 @@ class DomainBlockCluster
     std::size_t portPhysical(Port port) const;
     std::size_t physicalIndex(std::size_t row) const;
 
+    void perturbShift(bool toward_left);
+
     DeviceParams dev;
     std::vector<BitVector> physRows; ///< indexed by physical position
     int offset = 0;                  ///< net left shifts applied
+    ShiftFaultModel *shiftFaults = nullptr; ///< non-owning, optional
 };
 
 } // namespace coruscant

@@ -16,18 +16,43 @@ void
 Nanowire::shiftLeft()
 {
     panicIf(!canShiftLeft(), "shift would push data off the left end");
-    std::rotate(domains.begin(), domains.begin() + 1, domains.end());
-    domains.back() = 0;
     ++offset;
+    perturbShift(true);
 }
 
 void
 Nanowire::shiftRight()
 {
     panicIf(!canShiftRight(), "shift would push data off the right end");
-    std::rotate(domains.begin(), domains.end() - 1, domains.end());
-    domains.front() = 0;
     --offset;
+    perturbShift(false);
+}
+
+void
+Nanowire::injectShiftFault(bool toward_left)
+{
+    if (toward_left) {
+        std::rotate(domains.begin(), domains.begin() + 1, domains.end());
+        domains.back() = 0;
+    } else {
+        std::rotate(domains.begin(), domains.end() - 1, domains.end());
+        domains.front() = 0;
+    }
+    // Deliberately no offset update: the controller's bookkeeping is
+    // now wrong, which is exactly what a shifting fault means.
+}
+
+void
+Nanowire::perturbShift(bool toward_left)
+{
+    ShiftOutcome outcome =
+        shiftFaults ? shiftFaults->sample() : ShiftOutcome::Normal;
+    // The bookkeeping (offset) always advances by one; what the pulse
+    // physically did depends on the outcome.
+    if (outcome != ShiftOutcome::UnderShift)
+        injectShiftFault(toward_left);
+    if (outcome == ShiftOutcome::OverShift)
+        injectShiftFault(toward_left);
 }
 
 bool

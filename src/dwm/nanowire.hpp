@@ -21,6 +21,7 @@
 
 #include "dwm/device_params.hpp"
 #include "dwm/fault_model.hpp"
+#include "dwm/shift_fault.hpp"
 
 namespace coruscant {
 
@@ -35,6 +36,12 @@ class Nanowire
 
     /** Geometry in use. */
     const DeviceParams &params() const { return dev; }
+
+    /**
+     * Attach a shifting-fault injector: every subsequent shift pulse
+     * may silently over- or under-shift (non-owning; nullptr detaches).
+     */
+    void attachShiftFaults(ShiftFaultModel *model) { shiftFaults = model; }
 
     // --- Shifting ------------------------------------------------------
 
@@ -127,6 +134,14 @@ class Nanowire
 
     // --- Backdoor (testing / data load; no device semantics) -------------
 
+    /**
+     * Physically move every domain one position WITHOUT updating the
+     * shift bookkeeping: models a shifting fault, and equally the
+     * corrective pulse that undoes one.  Domains pushed past an
+     * extremity are lost.
+     */
+    void injectShiftFault(bool toward_left);
+
     /** Read data row @p row regardless of alignment. */
     bool peekRow(std::size_t row) const;
 
@@ -138,10 +153,12 @@ class Nanowire
 
   private:
     std::size_t portPhysical(Port port) const;
+    void perturbShift(bool toward_left);
 
     DeviceParams dev;
     std::vector<std::uint8_t> domains; ///< physical positions, 0 = left
     int offset = 0;                    ///< net left shifts applied
+    ShiftFaultModel *shiftFaults = nullptr; ///< non-owning, optional
 };
 
 } // namespace coruscant

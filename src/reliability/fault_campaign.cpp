@@ -1,5 +1,7 @@
 #include "reliability/fault_campaign.hpp"
 
+#include "arch/dwm_memory.hpp"
+#include "controller/memory_controller.hpp"
 #include "core/coruscant_unit.hpp"
 #include "reliability/error_model.hpp"
 #include "util/rng.hpp"
@@ -123,6 +125,110 @@ FaultCampaign::nmrAddCampaign(std::size_t trd, std::size_t n,
             ++res.errors;
     }
     res.injectedFaults = unit.injectedFaults();
+    return res;
+}
+
+ControllerCampaignResult
+FaultCampaign::controllerCampaign(const ControllerCampaignConfig &ccfg)
+{
+    // A deliberately small memory: the campaign revisits the same few
+    // DBCs so wear accumulates and retirement is reachable.
+    MemoryConfig mcfg;
+    mcfg.banks = 2;
+    mcfg.subarraysPerBank = 2;
+    mcfg.tilesPerSubarray = 2;
+    mcfg.dbcsPerTile = 2;
+    mcfg.pimDbcsPerSubarray = 1;
+    mcfg.device.wiresPerDbc = 64;
+    mcfg.reliability.shiftFaultRate = ccfg.shiftFaultRate;
+    mcfg.reliability.shiftFaultSeed = ccfg.seed;
+    mcfg.reliability.guardPolicy = ccfg.policy;
+    mcfg.reliability.maxRetries = ccfg.maxRetries;
+    mcfg.reliability.retireThreshold = ccfg.retireThreshold;
+
+    DwmMainMemory mem(mcfg);
+    MemoryController ctrl(mem);
+    Rng rng(ccfg.seed * 6364136223846793005ULL + 1442695040888963407ULL);
+
+    const std::size_t wires = mcfg.device.wiresPerDbc;
+    const std::size_t rows = mcfg.device.domainsPerWire;
+    const std::size_t lanes = wires / ccfg.blockSize;
+    const std::uint64_t lane_mask =
+        ccfg.blockSize >= 64 ? ~0ULL : ((1ULL << ccfg.blockSize) - 1);
+
+    ControllerCampaignResult res;
+    res.trials = ccfg.trials;
+    for (std::uint64_t t = 0; t < ccfg.trials; ++t) {
+        // Operands occupy consecutive rows of one random DBC; the
+        // destination row sits just past them so ladder re-reads never
+        // see a partially overwritten operand.
+        std::uint64_t fix0 = mem.correctedMisalignments();
+        std::uint64_t due0 = mem.uncorrectableEvents();
+        LineAddress loc;
+        loc.bank = rng.next() % mcfg.banks;
+        loc.subarray = rng.next() % mcfg.subarraysPerBank;
+        loc.tile = rng.next() % mcfg.tilesPerSubarray;
+        loc.dbc = rng.next() % mcfg.dbcsPerTile;
+        loc.row = rng.next() % (rows - ccfg.operands);
+
+        std::vector<std::uint64_t> golden(lanes, 0);
+        std::uint64_t src = 0;
+        for (std::size_t i = 0; i < ccfg.operands; ++i) {
+            BitVector row(wires);
+            for (std::size_t l = 0; l < lanes; ++l) {
+                std::uint64_t v = rng.next() & lane_mask;
+                row.insertUint64(l * ccfg.blockSize, ccfg.blockSize, v);
+                golden[l] = (golden[l] + v) & lane_mask;
+            }
+            LineAddress op_loc = loc;
+            op_loc.row = loc.row + i;
+            std::uint64_t addr = mem.addressMap().encode(op_loc);
+            if (i == 0)
+                src = addr;
+            mem.writeLine(addr, row);
+        }
+        LineAddress dst_loc = loc;
+        dst_loc.row = loc.row + ccfg.operands;
+        std::uint64_t dst = mem.addressMap().encode(dst_loc);
+
+        CpimInstruction inst;
+        inst.op = CpimOp::Add;
+        inst.src = src;
+        inst.dst = dst;
+        inst.operands = static_cast<std::uint8_t>(ccfg.operands);
+        inst.blockSize = static_cast<std::uint16_t>(ccfg.blockSize);
+        ExecReport rep = ctrl.executeGuarded(inst);
+
+        BitVector got = mem.readLine(dst);
+        bool match = true;
+        for (std::size_t l = 0; l < lanes && match; ++l)
+            match = got.sliceUint64(l * ccfg.blockSize,
+                                    ccfg.blockSize) == golden[l];
+
+        // DUE/SDC taxonomy over the whole trial (staging writes,
+        // execution, readback): a flagged trial is a DUE whether or
+        // not the result happens to be right; an unflagged wrong
+        // result is the silent corruption the guard exists to prevent.
+        bool flagged = rep.outcome == ExecOutcome::Uncorrectable ||
+                       mem.uncorrectableEvents() > due0;
+        bool fixed = rep.outcome == ExecOutcome::Corrected ||
+                     mem.correctedMisalignments() > fix0;
+        if (flagged)
+            ++res.due;
+        else if (!match)
+            ++res.sdc;
+        else if (fixed)
+            ++res.corrected;
+        else
+            ++res.clean;
+    }
+
+    ScrubReport sweep = mem.scrubAll();
+    res.residualAfterScrub = sweep.uncorrectable;
+    res.injectedFaults = mem.injectedShiftFaults();
+    res.guardChecks = mem.guardChecks();
+    res.correctivePulses = mem.correctedMisalignments();
+    res.retiredDbcs = mem.retiredDbcs();
     return res;
 }
 

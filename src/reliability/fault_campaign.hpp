@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "arch/config.hpp"
 #include "core/pim_logic.hpp"
 
 namespace coruscant {
@@ -31,6 +32,61 @@ struct CampaignResult
     {
         return trials == 0 ? 0.0
                            : static_cast<double>(errors) /
+                                 static_cast<double>(trials);
+    }
+};
+
+/**
+ * Configuration of an end-to-end controller campaign: cpim packed
+ * additions executed through the full memory + controller stack with
+ * shifting faults injected at @ref shiftFaultRate per pulse.
+ */
+struct ControllerCampaignConfig
+{
+    double shiftFaultRate = 1e-3;
+    GuardPolicy policy = GuardPolicy::PerAccess;
+    std::uint64_t trials = 500;
+    std::uint64_t seed = 1;
+    std::size_t operands = 5;       ///< rows summed per cpim add
+    std::size_t blockSize = 8;      ///< packed-lane width
+    std::size_t maxRetries = 2;
+    std::uint64_t retireThreshold = 0; ///< 0 disables DBC retirement
+};
+
+/**
+ * Classified outcome of an end-to-end controller campaign
+ * (the DUE/SDC taxonomy; see EXPERIMENTS.md "Reliability pipeline").
+ */
+struct ControllerCampaignResult
+{
+    std::uint64_t trials = 0;
+    std::uint64_t clean = 0;     ///< correct result, nothing detected
+    std::uint64_t corrected = 0; ///< correct result after detect+correct
+    std::uint64_t due = 0;       ///< flagged detected-uncorrectable
+    std::uint64_t sdc = 0;       ///< wrong result, nothing flagged
+
+    std::uint64_t injectedFaults = 0; ///< shift faults injected
+    std::uint64_t guardChecks = 0;
+    std::uint64_t correctivePulses = 0;
+    std::uint64_t retiredDbcs = 0;
+    std::uint64_t residualAfterScrub = 0; ///< uncorrectable in final sweep
+
+    /** Faulty trials resolved correctly: corrected / (all non-clean). */
+    double
+    coverage() const
+    {
+        std::uint64_t faulty = corrected + due + sdc;
+        return faulty == 0 ? 1.0
+                           : static_cast<double>(corrected) /
+                                 static_cast<double>(faulty);
+    }
+
+    /** Silent-data-corruption rate over all trials. */
+    double
+    sdcRate() const
+    {
+        return trials == 0 ? 0.0
+                           : static_cast<double>(sdc) /
                                  static_cast<double>(trials);
     }
 };
@@ -68,6 +124,17 @@ class FaultCampaign
                                          double p_fault,
                                          std::uint64_t trials,
                                          std::uint64_t seed = 1);
+
+    /**
+     * End-to-end controller campaign: each trial stages random operand
+     * rows through DwmMainMemory::writeLine, executes a cpim packed
+     * add via MemoryController::executeGuarded, reads the result back,
+     * and classifies the trial as clean, detected-corrected,
+     * detected-uncorrectable (DUE), or silent data corruption (SDC)
+     * against a software golden sum.  Deterministic for a fixed seed.
+     */
+    static ControllerCampaignResult
+    controllerCampaign(const ControllerCampaignConfig &cfg);
 };
 
 } // namespace coruscant

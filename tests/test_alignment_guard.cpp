@@ -118,6 +118,97 @@ TEST(AlignmentGuard, SurvivesLegalShifting)
     }
 }
 
+TEST(AlignmentGuard, CorrectsEverySinglePositionMisalignment)
+{
+    // Property: from EVERY legal window position and EITHER fault
+    // direction, correct() restores alignment.  At the two extreme
+    // positions the offending shift pushes the outermost data row off
+    // the wire — that row's contents (guard bit included) are lost,
+    // but alignment is still restored and the damage reported.
+    DeviceParams p = params();
+    std::size_t last = p.domainsPerWire - p.trd;
+    for (std::size_t ws = 0; ws <= last; ++ws) {
+        for (bool toward_left : {true, false}) {
+            DomainBlockCluster dbc(p);
+            AlignmentGuard g(p);
+            g.install(dbc);
+            dbc.alignWindowStart(ws);
+            dbc.injectShiftFault(toward_left);
+            GuardCorrection r = g.correct(dbc);
+            EXPECT_TRUE(r.aligned)
+                << "ws=" << ws << " left=" << toward_left;
+            EXPECT_TRUE(r.corrected)
+                << "ws=" << ws << " left=" << toward_left;
+            if (r.patternDamaged)
+                g.install(dbc); // owner repairs the guard track
+            EXPECT_EQ(g.check(dbc), AlignmentStatus::Aligned)
+                << "ws=" << ws << " left=" << toward_left;
+        }
+    }
+}
+
+TEST(AlignmentGuard, CorrectionPreservesSurvivingData)
+{
+    // Same sweep, with user data: every row that was not physically
+    // pushed off the wire must be bit-exact after correction.
+    DeviceParams p = params(7, 8);
+    std::size_t last = p.domainsPerWire - p.trd;
+    for (std::size_t ws = 0; ws <= last; ++ws) {
+        for (bool toward_left : {true, false}) {
+            DomainBlockCluster dbc(p);
+            AlignmentGuard g(p, 0);
+            g.install(dbc);
+            Rng rng(17 * ws + toward_left);
+            std::vector<std::uint8_t> snapshot;
+            for (std::size_t r = 0; r < p.domainsPerWire; ++r)
+                for (std::size_t w = 1; w < p.wiresPerDbc; ++w) {
+                    bool b = rng.nextBool();
+                    dbc.pokeBit(r, w, b);
+                    snapshot.push_back(b);
+                }
+            dbc.alignWindowStart(ws);
+            dbc.injectShiftFault(toward_left);
+            ASSERT_TRUE(g.correct(dbc).aligned)
+                << "ws=" << ws << " left=" << toward_left;
+            // The over-shift at maximum excursion destroys the edge
+            // data row (documented residual); all other rows survive.
+            bool row0_lost = toward_left && ws == last;
+            bool rowN_lost = !toward_left && ws == 0;
+            std::size_t i = 0;
+            for (std::size_t r = 0; r < p.domainsPerWire; ++r)
+                for (std::size_t w = 1; w < p.wiresPerDbc; ++w) {
+                    bool expect = snapshot[i++] != 0;
+                    if ((r == 0 && row0_lost) ||
+                        (r == p.domainsPerWire - 1 && rowN_lost))
+                        continue;
+                    EXPECT_EQ(dbc.peekBit(r, w), expect)
+                        << "ws=" << ws << " left=" << toward_left
+                        << " row " << r << " wire " << w;
+                }
+        }
+    }
+}
+
+TEST(AlignmentGuard, EdgeAliasResolvedBySegmentedOuterRead)
+{
+    // At the last window position an over-shift leaves the window
+    // count unchanged (the domain entering from the overhead region is
+    // blank, the one leaving carries a 0): only the segmented TR over
+    // the outer-left segment sees the deficit.
+    DeviceParams p = params();
+    std::size_t last = p.domainsPerWire - p.trd;
+    DomainBlockCluster dbc(p);
+    AlignmentGuard g(p);
+    g.install(dbc);
+    dbc.alignWindowStart(last);
+    std::size_t window_before = dbc.transverseReadWire(g.guardWire());
+    dbc.injectShiftFault(true);
+    EXPECT_EQ(dbc.transverseReadWire(g.guardWire()), window_before)
+        << "window count alone must alias aligned here";
+    EXPECT_EQ(g.check(dbc), AlignmentStatus::OffByPlusOne);
+    EXPECT_TRUE(g.checkAndCorrect(dbc));
+}
+
 TEST(AlignmentGuard, WorksAtSmallTrd)
 {
     DomainBlockCluster dbc(params(3, 4));

@@ -9,6 +9,7 @@
  *   polybench   kernel system comparison (Fig. 10/11 view)
  *   cnn         CNN throughput table (Table IV view)
  *   reliability analytical error rates (Table V view)
+ *   campaign    end-to-end shift-fault campaign (DUE/SDC taxonomy)
  *
  * Options use --key value pairs; `coruscant_cli help` lists them.
  */
@@ -26,6 +27,7 @@
 #include "core/op_cost.hpp"
 #include "dwm/area_model.hpp"
 #include "reliability/error_model.hpp"
+#include "reliability/fault_campaign.hpp"
 #include "util/logging.hpp"
 
 using namespace coruscant;
@@ -198,6 +200,56 @@ cmdReliability(const Options &o)
 }
 
 int
+cmdCampaign(const Options &o)
+{
+    ControllerCampaignConfig cfg;
+    cfg.shiftFaultRate = getDouble(o, "pshift", 1e-3);
+    cfg.trials = getSize(o, "trials", 500);
+    cfg.seed = getSize(o, "seed", 1);
+    cfg.retireThreshold = getSize(o, "retire", 0);
+    std::string policy = getString(o, "policy", "per-access");
+    if (policy == "none")
+        cfg.policy = GuardPolicy::None;
+    else if (policy == "per-access")
+        cfg.policy = GuardPolicy::PerAccess;
+    else if (policy == "per-cpim")
+        cfg.policy = GuardPolicy::PerCpim;
+    else if (policy == "scrub")
+        cfg.policy = GuardPolicy::PeriodicScrub;
+    else {
+        std::fprintf(stderr, "unknown policy '%s' (none, per-access, "
+                             "per-cpim, scrub)\n",
+                     policy.c_str());
+        return 2;
+    }
+    auto res = FaultCampaign::controllerCampaign(cfg);
+    std::printf("end-to-end campaign: policy=%s p_shift=%g "
+                "trials=%llu seed=%llu\n",
+                guardPolicyName(cfg.policy), cfg.shiftFaultRate,
+                static_cast<unsigned long long>(cfg.trials),
+                static_cast<unsigned long long>(cfg.seed));
+    std::printf("  clean                  : %llu\n",
+                static_cast<unsigned long long>(res.clean));
+    std::printf("  detected + corrected   : %llu\n",
+                static_cast<unsigned long long>(res.corrected));
+    std::printf("  detected uncorrectable : %llu\n",
+                static_cast<unsigned long long>(res.due));
+    std::printf("  silent data corruption : %llu\n",
+                static_cast<unsigned long long>(res.sdc));
+    std::printf("  injected shift faults  : %llu\n",
+                static_cast<unsigned long long>(res.injectedFaults));
+    std::printf("  guard checks           : %llu\n",
+                static_cast<unsigned long long>(res.guardChecks));
+    std::printf("  corrective pulses      : %llu\n",
+                static_cast<unsigned long long>(res.correctivePulses));
+    std::printf("  retired DBCs           : %llu\n",
+                static_cast<unsigned long long>(res.retiredDbcs));
+    std::printf("  coverage               : %.4f\n", res.coverage());
+    std::printf("  SDC rate               : %.4g\n", res.sdcRate());
+    return 0;
+}
+
+int
 usage()
 {
     std::printf(
@@ -208,7 +260,10 @@ usage()
         "  bitmap      [--users N] [--weeks 4]  Fig. 12 experiment\n"
         "  polybench   [--size 48]              Fig. 10/11 experiment\n"
         "  cnn         [--network alexnet|lenet5] [--mode fp|twn|bwn]\n"
-        "  reliability [--trd 7] [--pfault 1e-6]\n");
+        "  reliability [--trd 7] [--pfault 1e-6]\n"
+        "  campaign    [--pshift 1e-3] [--trials 500] [--seed 1]\n"
+        "              [--policy none|per-access|per-cpim|scrub]\n"
+        "              [--retire N]\n");
     return 1;
 }
 
@@ -234,6 +289,8 @@ main(int argc, char **argv)
             return cmdCnn(opts);
         if (cmd == "reliability")
             return cmdReliability(opts);
+        if (cmd == "campaign")
+            return cmdCampaign(opts);
         if (cmd == "help")
             return usage() == 1 ? 0 : 0;
     } catch (const std::exception &e) {
