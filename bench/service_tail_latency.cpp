@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tail-latency vs offered-load sweep for the request-service layer
+ * (paper Sec. V-C high-throughput mode, PIRM-style multi-operand
+ * dispatch).
+ *
+ * For each offered load the same seeded workload is served twice —
+ * with TR-gang batching on and off — and the JSON emitted on stdout
+ * gives the full latency-vs-throughput curve (p50/p95/p99/p99.9)
+ * plus an iso-p99 comparison: the highest throughput each
+ * configuration sustains without exceeding the unbatched
+ * configuration's worst p99.
+ *
+ * Usage: service_tail_latency [--rate R] [--duration N] [--channels C]
+ *   --rate runs a single load point (CI smoke); default sweeps.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "service/service_engine.hpp"
+
+using namespace coruscant;
+
+namespace {
+
+struct Point
+{
+    double rate;
+    ServiceStats batched;
+    ServiceStats unbatched;
+};
+
+void
+printStats(const char *key, const ServiceStats &s, bool last)
+{
+    std::printf(
+        "      \"%s\": {\"throughput_per_kcycle\": %.3f, "
+        "\"completed\": %llu, \"rejected\": %llu, "
+        "\"mean\": %.2f, \"p50\": %llu, \"p95\": %llu, "
+        "\"p99\": %llu, \"p999\": %llu, \"max\": %llu, "
+        "\"mean_gang_size\": %.2f, \"bus_util\": %.4f, "
+        "\"bank_util\": %.4f, \"energy_pj\": %.1f}%s\n",
+        key, s.throughputPerKcycle(),
+        static_cast<unsigned long long>(s.completed),
+        static_cast<unsigned long long>(s.rejected), s.latency.mean(),
+        static_cast<unsigned long long>(s.latency.p50()),
+        static_cast<unsigned long long>(s.latency.p95()),
+        static_cast<unsigned long long>(s.latency.p99()),
+        static_cast<unsigned long long>(s.latency.p999()),
+        static_cast<unsigned long long>(s.latency.max()),
+        s.batch.meanGangSize(), s.busUtilization, s.bankUtilization,
+        s.energyPj, last ? "" : ",");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<double> rates = {50, 100, 200, 300, 400, 600, 800};
+    std::uint64_t duration = 100000;
+    std::uint32_t channels = 4;
+    for (int i = 1; i + 1 < argc; i += 2) {
+        if (!std::strcmp(argv[i], "--rate"))
+            rates = {std::stod(argv[i + 1])};
+        else if (!std::strcmp(argv[i], "--duration"))
+            duration = std::stoull(argv[i + 1]);
+        else if (!std::strcmp(argv[i], "--channels"))
+            channels = static_cast<std::uint32_t>(
+                std::stoul(argv[i + 1]));
+        else {
+            std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+            return 2;
+        }
+    }
+
+    ServiceConfig cfg;
+    cfg.channels = channels;
+    cfg.threads = 0; // all cores; results are thread-count invariant
+    cfg.banksPerChannel = 16;
+    cfg.seed = 42;
+    cfg.durationCycles = duration;
+    // Bitmap-index serving: bulk-bitwise folds dominate, concentrated
+    // on hot accumulator groups — the workload Sec. V-C batches.
+    cfg.mix = WorkloadMix::parse("bulk:0.9,read:0.05,write:0.05");
+
+    std::vector<Point> sweep;
+    for (double rate : rates) {
+        Point p;
+        p.rate = rate;
+        cfg.ratePerKcycle = rate;
+        cfg.batching = true;
+        p.batched = runService(cfg);
+        cfg.batching = false;
+        p.unbatched = runService(cfg);
+        sweep.push_back(std::move(p));
+    }
+
+    // Iso-p99: cap at the unbatched configuration's worst tail and
+    // report the best throughput each mode sustains under that cap.
+    std::uint64_t target_p99 = 0;
+    for (const Point &p : sweep)
+        target_p99 = std::max(target_p99, p.unbatched.latency.p99());
+    double best_batched = 0, best_unbatched = 0;
+    for (const Point &p : sweep) {
+        if (p.batched.latency.p99() <= target_p99)
+            best_batched = std::max(
+                best_batched, p.batched.throughputPerKcycle());
+        if (p.unbatched.latency.p99() <= target_p99)
+            best_unbatched = std::max(
+                best_unbatched, p.unbatched.throughputPerKcycle());
+    }
+
+    std::printf("{\n");
+    std::printf(
+        "  \"bench\": \"service_tail_latency\",\n"
+        "  \"config\": {\"channels\": %u, \"banks\": %u, "
+        "\"duration_cycles\": %llu, \"seed\": %llu, \"trd\": %zu, "
+        "\"mix\": \"%s\", \"batch_window\": %llu, \"queue_cap\": %zu, "
+        "\"hot_groups\": %u},\n",
+        cfg.channels, cfg.banksPerChannel,
+        static_cast<unsigned long long>(cfg.durationCycles),
+        static_cast<unsigned long long>(cfg.seed), cfg.trd,
+        cfg.mix.describe().c_str(),
+        static_cast<unsigned long long>(cfg.batchWindowCycles),
+        cfg.queueCapacity, cfg.bulkHotGroups);
+    std::printf("  \"sweep\": [\n");
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        std::printf("    {\"rate_per_kcycle\": %.1f,\n",
+                    sweep[i].rate);
+        printStats("batched", sweep[i].batched, false);
+        printStats("unbatched", sweep[i].unbatched, true);
+        std::printf("    }%s\n",
+                    i + 1 < sweep.size() ? "," : "");
+    }
+    std::printf("  ],\n");
+    std::printf(
+        "  \"iso_p99\": {\"target_p99_cycles\": %llu, "
+        "\"batched_max_throughput\": %.3f, "
+        "\"unbatched_max_throughput\": %.3f}\n",
+        static_cast<unsigned long long>(target_p99), best_batched,
+        best_unbatched);
+    std::printf("}\n");
+    return 0;
+}

@@ -45,6 +45,7 @@ EventSimulator::run(std::vector<SimRequest> requests,
         busy_total += r.serviceCycles;
         std::uint64_t latency = completion - r.arrival;
         latency_sum += static_cast<double>(latency);
+        stats.latency.record(latency);
         stats.maxLatency = std::max(stats.maxLatency, latency);
         stats.makespan = std::max(stats.makespan, completion);
     };

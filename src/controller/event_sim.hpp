@@ -26,6 +26,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/stats.hpp"
+
 namespace coruscant {
 
 /** One memory/PIM request. */
@@ -53,6 +55,7 @@ struct SimStats
     double busUtilization = 0.0;     ///< issued cmds / makespan
     double bankUtilization = 0.0;    ///< busy cycles / (makespan*banks)
     std::uint64_t requests = 0;
+    LatencyHistogram latency;        ///< full latency distribution
 };
 
 /** Event-driven channel simulation. */

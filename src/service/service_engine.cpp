@@ -1,0 +1,416 @@
+#include "service/service_engine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <functional>
+#include <queue>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace coruscant {
+
+void
+ClassStats::merge(const ClassStats &o)
+{
+    generated += o.generated;
+    admitted += o.admitted;
+    rejected += o.rejected;
+    completed += o.completed;
+    maxQueueDepth = std::max(maxQueueDepth, o.maxQueueDepth);
+    latency.merge(o.latency);
+}
+
+double
+ServiceStats::throughputPerKcycle() const
+{
+    return makespan ? 1000.0 * static_cast<double>(completed) /
+                          static_cast<double>(makespan)
+                    : 0.0;
+}
+
+std::string
+ServiceStats::report() const
+{
+    std::ostringstream os;
+    os << "channels=" << channels << " makespan=" << makespan
+       << " cycles\n";
+    os << "requests: generated=" << generated
+       << " admitted=" << admitted << " rejected=" << rejected
+       << " completed=" << completed << "\n";
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "throughput: %.3f req/kcycle  bus util %.3f  "
+                  "bank util %.3f  energy %.3f uJ\n",
+                  throughputPerKcycle(), busUtilization,
+                  bankUtilization, energyPj * 1e-6);
+    os << buf;
+    os << "latency (cycles): " << latency.summary() << "\n";
+    std::snprintf(buf, sizeof buf,
+                  "batching: units=%llu gangs=%llu mean-size=%.2f "
+                  "full-closes=%llu window-closes=%llu\n",
+                  static_cast<unsigned long long>(dispatchedUnits),
+                  static_cast<unsigned long long>(batch.gangs),
+                  batch.meanGangSize(),
+                  static_cast<unsigned long long>(batch.fullCloses),
+                  static_cast<unsigned long long>(batch.windowCloses));
+    os << buf;
+    os << "per-class:\n";
+    std::snprintf(buf, sizeof buf, "  %-7s %10s %10s %9s %10s %6s %8s %8s\n",
+                  "class", "generated", "admitted", "rejected",
+                  "completed", "maxQ", "p50", "p99");
+    os << buf;
+    for (std::size_t c = 0; c < kRequestClasses; ++c) {
+        const ClassStats &pc = perClass[c];
+        if (pc.generated == 0)
+            continue;
+        std::snprintf(
+            buf, sizeof buf,
+            "  %-7s %10llu %10llu %9llu %10llu %6llu %8llu %8llu\n",
+            requestClassName(static_cast<RequestClass>(c)),
+            static_cast<unsigned long long>(pc.generated),
+            static_cast<unsigned long long>(pc.admitted),
+            static_cast<unsigned long long>(pc.rejected),
+            static_cast<unsigned long long>(pc.completed),
+            static_cast<unsigned long long>(pc.maxQueueDepth),
+            static_cast<unsigned long long>(pc.latency.p50()),
+            static_cast<unsigned long long>(pc.latency.p99()));
+        os << buf;
+    }
+    return os.str();
+}
+
+namespace {
+
+WorkloadConfig
+workloadConfigOf(const ServiceConfig &cfg, std::size_t max_add)
+{
+    WorkloadConfig w;
+    w.mix = cfg.mix;
+    w.process = cfg.process;
+    w.ratePerKcycle = cfg.ratePerKcycle;
+    w.durationCycles = cfg.durationCycles;
+    w.banks = cfg.banksPerChannel;
+    w.dbcGroups = cfg.dbcGroupsPerBank;
+    w.burstFactor = cfg.burstFactor;
+    w.burstFraction = cfg.burstFraction;
+    w.bulkHotGroups = cfg.bulkHotGroups;
+    w.maxAddOperands = max_add;
+    return w;
+}
+
+/**
+ * Simulates one channel: admission, batching, and in-order dispatch,
+ * then replays the dispatched trace through EventSimulator so the
+ * channel's utilization/makespan come from the existing simulator
+ * (and cross-checks that both agree cycle-for-cycle).
+ */
+class ChannelSim
+{
+  public:
+    ChannelSim(const ServiceConfig &cfg, const ServiceCostTable &costs,
+               std::uint32_t channel)
+        : cfg_(cfg), costs_(costs),
+          gen_(workloadConfigOf(cfg, costs.maxAddOperands()), cfg.seed,
+               channel),
+          batcher_(costs.maxGangOperands(), cfg.batchWindowCycles),
+          bankFree_(cfg.banksPerChannel, 0)
+    {}
+
+    ServiceStats
+    run()
+    {
+        stats_.channels = 1;
+        if (cfg_.process == ArrivalProcess::ClosedLoop)
+            runClosedLoop();
+        else
+            runOpenLoop();
+        finishFlush();
+        stats_.makespan = makespan_;
+        stats_.batch = batcher_.stats();
+
+        EventSimulator sim(cfg_.banksPerChannel);
+        SimStats replay = sim.run(trace_, SchedulePolicy::InOrder);
+        panicIf(replay.makespan != makespan_,
+                "service engine disagrees with EventSimulator: ",
+                replay.makespan, " vs ", makespan_);
+        panicIf(replay.requests != stats_.dispatchedUnits,
+                "service engine lost dispatch units");
+        stats_.busUtilization = replay.busUtilization;
+        stats_.bankUtilization = replay.bankUtilization;
+        return stats_;
+    }
+
+  private:
+    struct Completion
+    {
+        std::uint64_t cycle;
+        std::uint8_t cls;
+        bool
+        operator>(const Completion &o) const
+        {
+            return cycle > o.cycle;
+        }
+    };
+
+    /** Retire completions up to @p now from the outstanding counts. */
+    void
+    settle(std::uint64_t now)
+    {
+        while (!inFlight_.empty() && inFlight_.top().cycle <= now) {
+            --outstanding_[inFlight_.top().cls];
+            inFlight_.pop();
+        }
+    }
+
+    bool
+    admit(const ServiceRequest &r, std::uint64_t now)
+    {
+        auto c = static_cast<std::size_t>(r.cls);
+        stats_.generated += 1;
+        stats_.perClass[c].generated += 1;
+        settle(now);
+        std::uint64_t depth = outstanding_[c];
+        if (cfg_.queueCapacity > 0 && depth >= cfg_.queueCapacity) {
+            stats_.rejected += 1;
+            stats_.perClass[c].rejected += 1;
+            return false;
+        }
+        outstanding_[c] += 1;
+        stats_.admitted += 1;
+        stats_.perClass[c].admitted += 1;
+        stats_.perClass[c].maxQueueDepth =
+            std::max(stats_.perClass[c].maxQueueDepth, depth + 1);
+        return true;
+    }
+
+    /** Dispatch one bus/bank unit carrying @p members requests. */
+    std::uint64_t
+    dispatch(std::uint64_t now, std::uint32_t bank,
+             const RequestCost &cost,
+             const std::vector<ServiceRequest> &members)
+    {
+        std::uint64_t start =
+            std::max({now, busFree_, bankFree_[bank]});
+        busFree_ = start + cost.issueCmds;
+        std::uint64_t completion =
+            start + cost.issueCmds + cost.serviceCycles;
+        bankFree_[bank] = completion;
+        trace_.push_back({now, bank, cost.issueCmds,
+                          cost.serviceCycles});
+        stats_.dispatchedUnits += 1;
+        stats_.energyPj += cost.energyPj;
+        makespan_ = std::max(makespan_, completion);
+        for (const ServiceRequest &m : members) {
+            auto c = static_cast<std::size_t>(m.cls);
+            std::uint64_t lat = completion - m.arrival;
+            stats_.latency.record(lat);
+            stats_.perClass[c].latency.record(lat);
+            stats_.perClass[c].completed += 1;
+            stats_.completed += 1;
+            inFlight_.push({completion, static_cast<std::uint8_t>(c)});
+            if (closedLoop_)
+                slots_.push(completion);
+        }
+        return completion;
+    }
+
+    void
+    dispatchGang(const TrGang &g)
+    {
+        dispatch(g.readyAt, g.bank, costs_.gangCost(g.members.size()),
+                 g.members);
+    }
+
+    /** Route an admitted request to the batcher or straight out. */
+    void
+    handleAdmitted(const ServiceRequest &r)
+    {
+        if (cfg_.batching && r.cls == RequestClass::BulkBitwise) {
+            TrGang g = batcher_.add(r);
+            if (!g.members.empty())
+                dispatchGang(g);
+        } else {
+            dispatch(r.arrival, r.bank, costs_.cost(r), {r});
+        }
+    }
+
+    void
+    runOpenLoop()
+    {
+        ServiceRequest next;
+        bool have = gen_.next(next);
+        while (have || batcher_.pending() > 0) {
+            std::uint64_t deadline = batcher_.pending() > 0
+                                         ? batcher_.nextDeadline()
+                                         : ~0ull;
+            if (have && next.arrival < deadline) {
+                if (admit(next, next.arrival))
+                    handleAdmitted(next);
+                have = gen_.next(next);
+            } else {
+                for (const TrGang &g : batcher_.flushDue(deadline))
+                    dispatchGang(g);
+            }
+        }
+    }
+
+    void
+    runClosedLoop()
+    {
+        closedLoop_ = true;
+        for (std::uint32_t i = 0; i < cfg_.closedLoopWindow; ++i)
+            slots_.push(0);
+        const std::uint64_t backoff =
+            std::max<std::uint64_t>(1, cfg_.retryBackoffCycles);
+        while (true) {
+            if (batcher_.pending() > 0) {
+                std::uint64_t dl = batcher_.nextDeadline();
+                if (slots_.empty() || dl <= slots_.top()) {
+                    for (const TrGang &g : batcher_.flushDue(dl))
+                        dispatchGang(g);
+                    continue;
+                }
+            }
+            if (slots_.empty())
+                break;
+            std::uint64_t arrival = slots_.top();
+            slots_.pop();
+            if (arrival >= cfg_.durationCycles)
+                continue; // this client retires
+            ServiceRequest r = gen_.sampleAt(arrival);
+            if (admit(r, arrival))
+                handleAdmitted(r);
+            else
+                slots_.push(arrival + backoff);
+        }
+    }
+
+    /** Dispatch whatever the batcher still holds at end of run. */
+    void
+    finishFlush()
+    {
+        while (batcher_.pending() > 0)
+            for (const TrGang &g :
+                 batcher_.flushDue(batcher_.nextDeadline()))
+                dispatchGang(g);
+    }
+
+    const ServiceConfig &cfg_;
+    const ServiceCostTable &costs_;
+    WorkloadGenerator gen_;
+    GangBatcher batcher_;
+    bool closedLoop_ = false;
+
+    std::uint64_t busFree_ = 0;
+    std::vector<std::uint64_t> bankFree_;
+    std::uint64_t makespan_ = 0;
+    std::vector<SimRequest> trace_;
+    std::array<std::uint64_t, kRequestClasses> outstanding_{};
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<Completion>>
+        inFlight_;
+    std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                        std::greater<std::uint64_t>>
+        slots_;
+    ServiceStats stats_;
+};
+
+} // namespace
+
+ServiceEngine::ServiceEngine(const ServiceConfig &cfg)
+    : cfg_(cfg), costs_(ServiceCostTable::build(cfg.trd))
+{
+    fatalIf(cfg_.channels == 0, "service needs at least one channel");
+    fatalIf(cfg_.banksPerChannel == 0,
+            "service needs at least one bank per channel");
+    fatalIf(cfg_.process == ArrivalProcess::ClosedLoop &&
+                cfg_.closedLoopWindow == 0,
+            "closed loop needs a positive window");
+}
+
+ServiceStats
+ServiceEngine::run() const
+{
+    std::uint32_t n_threads = cfg_.threads;
+    if (n_threads == 0) {
+        n_threads = std::thread::hardware_concurrency();
+        if (n_threads == 0)
+            n_threads = 1;
+    }
+    n_threads = std::min(n_threads, cfg_.channels);
+
+    std::vector<ServiceStats> per_channel(cfg_.channels);
+    auto worker = [&](std::uint32_t first) {
+        for (std::uint32_t ch = first; ch < cfg_.channels;
+             ch += n_threads)
+            per_channel[ch] = ChannelSim(cfg_, costs_, ch).run();
+    };
+
+    if (n_threads <= 1) {
+        worker(0);
+    } else {
+        // Channels are data-independent; each worker owns a strided
+        // subset and writes only its own per_channel slots.  The join
+        // is the merge barrier.
+        std::vector<std::exception_ptr> errors(n_threads);
+        std::vector<std::thread> pool;
+        pool.reserve(n_threads);
+        for (std::uint32_t t = 0; t < n_threads; ++t) {
+            pool.emplace_back([&, t]() {
+                try {
+                    worker(t);
+                } catch (...) {
+                    errors[t] = std::current_exception();
+                }
+            });
+        }
+        for (auto &th : pool)
+            th.join();
+        for (auto &e : errors)
+            if (e)
+                std::rethrow_exception(e);
+    }
+
+    // Merge in channel order: the aggregate is a pure function of the
+    // per-channel results, independent of worker count or timing.
+    ServiceStats out;
+    out.channels = cfg_.channels;
+    double issued_cycles = 0, busy_weight = 0;
+    for (const ServiceStats &c : per_channel) {
+        out.makespan = std::max(out.makespan, c.makespan);
+        out.generated += c.generated;
+        out.admitted += c.admitted;
+        out.rejected += c.rejected;
+        out.completed += c.completed;
+        out.dispatchedUnits += c.dispatchedUnits;
+        out.energyPj += c.energyPj;
+        out.batch.merge(c.batch);
+        out.latency.merge(c.latency);
+        for (std::size_t k = 0; k < kRequestClasses; ++k)
+            out.perClass[k].merge(c.perClass[k]);
+        issued_cycles +=
+            c.busUtilization * static_cast<double>(c.makespan);
+        busy_weight +=
+            c.bankUtilization * static_cast<double>(c.makespan);
+    }
+    double span_sum = 0;
+    for (const ServiceStats &c : per_channel)
+        span_sum += static_cast<double>(c.makespan);
+    if (span_sum > 0) {
+        out.busUtilization = issued_cycles / span_sum;
+        out.bankUtilization = busy_weight / span_sum;
+    }
+    return out;
+}
+
+ServiceStats
+runService(const ServiceConfig &cfg)
+{
+    return ServiceEngine(cfg).run();
+}
+
+} // namespace coruscant

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Sharded multi-channel request-service engine.
+ *
+ * Layered on the existing controller stack, this subsystem turns the
+ * repo's closed-form/per-kernel simulators into a load-serving system
+ * model:
+ *
+ *   WorkloadGenerator --> admission (bounded per-class queues)
+ *       --> GangBatcher (bulk-bitwise TR gangs, Sec. III-C / PIRM)
+ *       --> per-channel dispatch (command bus + bank occupancy,
+ *           identical math to EventSimulator's in-order policy)
+ *       --> EventSimulator replay (authoritative SimStats per channel)
+ *       --> merged ServiceStats with log-bucketed tail latencies.
+ *
+ * Sharding: memory channels are independent in the modeled system
+ * (per-channel command bus and banks), so the engine partitions
+ * channels across a std::thread worker pool.  Every channel derives
+ * its RNG stream from (seed, channel) — never from the thread that
+ * happens to simulate it — and per-channel results are merged in
+ * channel order after a join barrier.  A run with N threads is
+ * therefore bit-identical to the single-threaded run for a fixed
+ * seed; a regression test and the CLI acceptance check both pin this.
+ *
+ * Admission control: each request class has a bounded queue of
+ * admitted-but-incomplete requests per channel.  Arrivals beyond the
+ * bound are rejected (open loop) or retried after a backoff (closed
+ * loop), and per-class backpressure counters report drops and peak
+ * depth — under overload the engine degrades by shedding load, not by
+ * growing queues without bound.
+ */
+
+#ifndef CORUSCANT_SERVICE_SERVICE_ENGINE_HPP
+#define CORUSCANT_SERVICE_SERVICE_ENGINE_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "controller/event_sim.hpp"
+#include "service/batcher.hpp"
+#include "service/request.hpp"
+#include "service/workload.hpp"
+#include "util/stats.hpp"
+
+namespace coruscant {
+
+/** Full configuration of one service run. */
+struct ServiceConfig
+{
+    std::uint32_t channels = 8;
+    std::uint32_t threads = 1;  ///< worker threads; 0 = hardware
+    std::uint32_t banksPerChannel = 16;
+    std::uint32_t dbcGroupsPerBank = 4;
+    std::size_t trd = 7;
+    std::uint64_t seed = 1;
+
+    WorkloadMix mix = WorkloadMix::pimServing();
+    ArrivalProcess process = ArrivalProcess::Poisson;
+    double ratePerKcycle = 8.0;   ///< offered load per channel
+    std::uint64_t durationCycles = 100000;
+    double burstFactor = 4.0;
+    double burstFraction = 0.2;
+    std::uint32_t bulkHotGroups = 8; ///< see WorkloadConfig
+
+    bool batching = true;
+    std::uint64_t batchWindowCycles = 256;
+
+    std::size_t queueCapacity = 64;  ///< per class per channel; 0 = inf
+    std::uint32_t closedLoopWindow = 8; ///< clients per channel
+    std::uint64_t retryBackoffCycles = 256; ///< closed-loop reject wait
+};
+
+/** Per-class service counters plus the class latency distribution. */
+struct ClassStats
+{
+    std::uint64_t generated = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;  ///< backpressure drops
+    std::uint64_t completed = 0;
+    std::uint64_t maxQueueDepth = 0; ///< peak admitted-incomplete
+    LatencyHistogram latency;
+
+    void merge(const ClassStats &o);
+};
+
+/** Merged results of a service run. */
+struct ServiceStats
+{
+    std::uint32_t channels = 0;
+    std::uint64_t makespan = 0;   ///< max over channels
+    std::uint64_t generated = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t dispatchedUnits = 0; ///< singles + gangs on the bus
+    double busUtilization = 0.0;  ///< issued cmds / cycle, per channel
+    double bankUtilization = 0.0;
+    double energyPj = 0.0;
+    BatchStats batch;
+    LatencyHistogram latency;     ///< all classes
+    std::array<ClassStats, kRequestClasses> perClass{};
+
+    /** Completed requests per 1000 cycles (all channels combined). */
+    double throughputPerKcycle() const;
+
+    /** Multi-line human-readable report. */
+    std::string report() const;
+};
+
+/** Runs the sharded service simulation. */
+class ServiceEngine
+{
+  public:
+    explicit ServiceEngine(const ServiceConfig &cfg);
+
+    /** Simulate all channels and merge their results. */
+    ServiceStats run() const;
+
+  private:
+    ServiceConfig cfg_;
+    ServiceCostTable costs_;
+};
+
+/** Convenience wrapper: build an engine and run it. */
+ServiceStats runService(const ServiceConfig &cfg);
+
+} // namespace coruscant
+
+#endif // CORUSCANT_SERVICE_SERVICE_ENGINE_HPP

@@ -1,8 +1,52 @@
 #include "util/stats.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace coruscant {
+
+std::uint64_t
+LatencyHistogram::bucketUpperEdge(std::size_t idx)
+{
+    if (idx < (1ull << kLinearBits))
+        return idx;
+    std::size_t rel = idx - (1ull << kLinearBits);
+    std::size_t octave = kLinearBits + rel / (1ull << kSubBits);
+    std::size_t sub = rel % (1ull << kSubBits);
+    std::uint64_t step = 1ull << (octave - kSubBits);
+    std::uint64_t lower = (1ull << octave) + sub * step;
+    return lower + step - 1;
+}
+
+std::uint64_t
+LatencyHistogram::percentile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    std::uint64_t target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    if (target == 0)
+        target = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= target)
+            return std::min(bucketUpperEdge(i), max_);
+    }
+    return max_;
+}
+
+std::string
+LatencyHistogram::summary() const
+{
+    std::ostringstream os;
+    os << "n=" << count_ << " mean=" << mean() << " p50=" << p50()
+       << " p95=" << p95() << " p99=" << p99() << " p99.9=" << p999()
+       << " max=" << max_;
+    return os.str();
+}
 
 std::string
 CostLedger::summary() const

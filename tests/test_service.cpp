@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Request-service subsystem: workload generation, TR-gang batching,
+ * bounded-queue admission, and the sharded engine's bit-for-bit
+ * thread-count invariance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "service/batcher.hpp"
+#include "service/request.hpp"
+#include "service/service_engine.hpp"
+#include "service/workload.hpp"
+#include "util/logging.hpp"
+
+namespace coruscant {
+namespace {
+
+// ---------------------------------------------------------------- mix
+
+TEST(WorkloadMix, ParsesAndNormalizes)
+{
+    auto m = WorkloadMix::parse("read:1,bulk:3");
+    EXPECT_DOUBLE_EQ(
+        m.weight[static_cast<std::size_t>(RequestClass::Read)], 1.0);
+    EXPECT_DOUBLE_EQ(
+        m.weight[static_cast<std::size_t>(RequestClass::BulkBitwise)],
+        3.0);
+    EXPECT_DOUBLE_EQ(
+        m.weight[static_cast<std::size_t>(RequestClass::MacTile)], 0.0);
+    EXPECT_EQ(m.describe(), "read:0.25,bulk:0.75");
+}
+
+TEST(WorkloadMix, RejectsMalformedInput)
+{
+    EXPECT_THROW(WorkloadMix::parse("frobnicate:1"), FatalError);
+    EXPECT_THROW(WorkloadMix::parse("read"), FatalError);
+    EXPECT_THROW(WorkloadMix::parse("read:x"), FatalError);
+    EXPECT_THROW(WorkloadMix::parse("read:-1"), FatalError);
+    EXPECT_THROW(WorkloadMix::parse(""), FatalError);
+    EXPECT_THROW(WorkloadMix::parse("read:0"), FatalError);
+}
+
+// ---------------------------------------------------------- generator
+
+TEST(WorkloadGenerator, DeterministicPerChannelStreams)
+{
+    WorkloadConfig cfg;
+    cfg.ratePerKcycle = 20;
+    cfg.durationCycles = 50000;
+    WorkloadGenerator a(cfg, 42, 3), b(cfg, 42, 3), c(cfg, 42, 4);
+    ServiceRequest ra, rb, rc;
+    bool differs = false;
+    while (a.next(ra)) {
+        ASSERT_TRUE(b.next(rb));
+        EXPECT_EQ(ra.arrival, rb.arrival);
+        EXPECT_EQ(ra.cls, rb.cls);
+        EXPECT_EQ(ra.bank, rb.bank);
+        EXPECT_EQ(ra.size, rb.size);
+        if (c.next(rc) &&
+            (rc.arrival != ra.arrival || rc.cls != ra.cls))
+            differs = true;
+    }
+    EXPECT_FALSE(b.next(rb));
+    EXPECT_TRUE(differs) << "channel streams must be independent";
+}
+
+TEST(WorkloadGenerator, PoissonHitsOfferedRate)
+{
+    WorkloadConfig cfg;
+    cfg.ratePerKcycle = 50;
+    cfg.durationCycles = 400000;
+    WorkloadGenerator gen(cfg, 1, 0);
+    ServiceRequest r;
+    std::uint64_t n = 0, last = 0;
+    while (gen.next(r)) {
+        EXPECT_GE(r.arrival, last) << "arrivals must be ordered";
+        EXPECT_LT(r.arrival, cfg.durationCycles);
+        last = r.arrival;
+        ++n;
+    }
+    double expected = cfg.ratePerKcycle * cfg.durationCycles / 1000.0;
+    EXPECT_NEAR(static_cast<double>(n), expected, 0.05 * expected);
+}
+
+TEST(WorkloadGenerator, BurstyConservesLongRunRate)
+{
+    WorkloadConfig cfg;
+    cfg.process = ArrivalProcess::Bursty;
+    cfg.ratePerKcycle = 40;
+    cfg.durationCycles = 500000;
+    WorkloadGenerator gen(cfg, 9, 0);
+    ServiceRequest r;
+    std::uint64_t n = 0, last = 0;
+    while (gen.next(r)) {
+        EXPECT_GE(r.arrival, last);
+        last = r.arrival;
+        ++n;
+    }
+    double expected = cfg.ratePerKcycle * cfg.durationCycles / 1000.0;
+    EXPECT_NEAR(static_cast<double>(n), expected, 0.15 * expected);
+}
+
+TEST(WorkloadGenerator, SizesRespectClassDistributions)
+{
+    WorkloadConfig cfg;
+    cfg.mix = WorkloadMix::uniform();
+    cfg.ratePerKcycle = 50;
+    cfg.durationCycles = 100000;
+    cfg.maxAddOperands = 5;
+    WorkloadGenerator gen(cfg, 3, 1);
+    ServiceRequest r;
+    while (gen.next(r)) {
+        switch (r.cls) {
+        case RequestClass::MultiOpAdd:
+            EXPECT_GE(r.size, 2u);
+            EXPECT_LE(r.size, 5u);
+            break;
+        case RequestClass::BulkBitwise:
+        case RequestClass::Reduce:
+            EXPECT_EQ(r.size, 1u);
+            break;
+        default:
+            EXPECT_GE(r.size, 1u);
+            EXPECT_LE(r.size, 4u);
+        }
+        EXPECT_LT(r.bank, cfg.banks);
+        EXPECT_LT(r.dbcGroup, cfg.dbcGroups);
+    }
+}
+
+// ------------------------------------------------------------ batcher
+
+ServiceRequest
+bulkAt(std::uint64_t arrival, std::uint32_t bank, std::uint32_t group)
+{
+    ServiceRequest r;
+    r.cls = RequestClass::BulkBitwise;
+    r.arrival = arrival;
+    r.bank = bank;
+    r.dbcGroup = group;
+    return r;
+}
+
+TEST(GangBatcher, FullGangClosesImmediately)
+{
+    GangBatcher b(3, 1000);
+    EXPECT_TRUE(b.add(bulkAt(10, 0, 0)).members.empty());
+    EXPECT_TRUE(b.add(bulkAt(11, 0, 0)).members.empty());
+    TrGang g = b.add(bulkAt(12, 0, 0));
+    ASSERT_EQ(g.members.size(), 3u);
+    EXPECT_EQ(g.readyAt, 12u);
+    EXPECT_EQ(b.pending(), 0u);
+    EXPECT_EQ(b.stats().fullCloses, 1u);
+}
+
+TEST(GangBatcher, WindowFlushRespectsDeadline)
+{
+    GangBatcher b(7, 100);
+    b.add(bulkAt(50, 2, 1));
+    b.add(bulkAt(80, 2, 1));
+    EXPECT_EQ(b.nextDeadline(), 150u);
+    EXPECT_TRUE(b.flushDue(149).empty());
+    auto due = b.flushDue(150);
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0].members.size(), 2u);
+    EXPECT_EQ(due[0].readyAt, 150u);
+    EXPECT_EQ(b.stats().windowCloses, 1u);
+}
+
+TEST(GangBatcher, OnlySameAlignmentCoalesces)
+{
+    GangBatcher b(7, 100);
+    b.add(bulkAt(0, 0, 0));
+    b.add(bulkAt(1, 0, 1)); // same bank, other DBC group
+    b.add(bulkAt(2, 1, 0)); // other bank
+    EXPECT_EQ(b.pending(), 3u);
+    auto all = b.flushAll(500);
+    ASSERT_EQ(all.size(), 3u);
+    for (const auto &g : all)
+        EXPECT_EQ(g.members.size(), 1u);
+}
+
+TEST(GangBatcher, RejectsNonBulkRequests)
+{
+    GangBatcher b(7, 100);
+    ServiceRequest r;
+    r.cls = RequestClass::Read;
+    EXPECT_THROW(b.add(r), FatalError);
+}
+
+// ------------------------------------------------------------- engine
+
+ServiceConfig
+smallConfig()
+{
+    ServiceConfig cfg;
+    cfg.channels = 4;
+    cfg.threads = 1;
+    cfg.banksPerChannel = 8;
+    cfg.durationCycles = 20000;
+    cfg.ratePerKcycle = 40;
+    cfg.seed = 42;
+    return cfg;
+}
+
+void
+expectIdentical(const ServiceStats &a, const ServiceStats &b)
+{
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.generated, b.generated);
+    EXPECT_EQ(a.admitted, b.admitted);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.dispatchedUnits, b.dispatchedUnits);
+    EXPECT_EQ(a.batch.gangs, b.batch.gangs);
+    EXPECT_EQ(a.batch.gangedRequests, b.batch.gangedRequests);
+    EXPECT_EQ(a.latency.count(), b.latency.count());
+    EXPECT_EQ(a.latency.max(), b.latency.max());
+    EXPECT_DOUBLE_EQ(a.latency.mean(), b.latency.mean());
+    for (double q : {0.5, 0.95, 0.99, 0.999})
+        EXPECT_EQ(a.latency.percentile(q), b.latency.percentile(q));
+    EXPECT_DOUBLE_EQ(a.energyPj, b.energyPj);
+    EXPECT_DOUBLE_EQ(a.busUtilization, b.busUtilization);
+    EXPECT_DOUBLE_EQ(a.bankUtilization, b.bankUtilization);
+    for (std::size_t c = 0; c < kRequestClasses; ++c) {
+        EXPECT_EQ(a.perClass[c].generated, b.perClass[c].generated);
+        EXPECT_EQ(a.perClass[c].rejected, b.perClass[c].rejected);
+        EXPECT_EQ(a.perClass[c].completed, b.perClass[c].completed);
+        EXPECT_EQ(a.perClass[c].maxQueueDepth,
+                  b.perClass[c].maxQueueDepth);
+        EXPECT_EQ(a.perClass[c].latency.p99(),
+                  b.perClass[c].latency.p99());
+    }
+}
+
+TEST(ServiceEngine, ThreadShardingIsBitIdentical)
+{
+    // The acceptance property: for a fixed seed the sharded run must
+    // match the single-threaded run exactly, for every process type.
+    for (auto process :
+         {ArrivalProcess::Poisson, ArrivalProcess::Bursty,
+          ArrivalProcess::ClosedLoop}) {
+        ServiceConfig cfg = smallConfig();
+        cfg.process = process;
+        cfg.threads = 1;
+        ServiceStats single = runService(cfg);
+        for (std::uint32_t threads : {2u, 4u, 8u}) {
+            cfg.threads = threads;
+            ServiceStats sharded = runService(cfg);
+            expectIdentical(single, sharded);
+        }
+    }
+}
+
+TEST(ServiceEngine, RunsAreReproducible)
+{
+    ServiceConfig cfg = smallConfig();
+    expectIdentical(runService(cfg), runService(cfg));
+}
+
+TEST(ServiceEngine, CompletesAllAdmittedRequests)
+{
+    ServiceConfig cfg = smallConfig();
+    ServiceStats s = runService(cfg);
+    EXPECT_GT(s.generated, 0u);
+    EXPECT_EQ(s.admitted, s.completed);
+    EXPECT_EQ(s.generated, s.admitted + s.rejected);
+    EXPECT_EQ(s.latency.count(), s.completed);
+    EXPECT_GT(s.makespan, 0u);
+    EXPECT_LE(s.busUtilization, 1.0);
+    EXPECT_LE(s.bankUtilization, 1.0);
+    std::uint64_t per_class_total = 0;
+    for (const auto &pc : s.perClass)
+        per_class_total += pc.completed;
+    EXPECT_EQ(per_class_total, s.completed);
+}
+
+TEST(ServiceEngine, UnboundedQueueNeverRejects)
+{
+    ServiceConfig cfg = smallConfig();
+    cfg.queueCapacity = 0;
+    cfg.ratePerKcycle = 200;
+    ServiceStats s = runService(cfg);
+    EXPECT_EQ(s.rejected, 0u);
+    EXPECT_EQ(s.admitted, s.generated);
+}
+
+TEST(ServiceEngine, BackpressureShedsLoadUnderOverload)
+{
+    ServiceConfig cfg = smallConfig();
+    cfg.queueCapacity = 4;
+    cfg.ratePerKcycle = 400;
+    ServiceStats s = runService(cfg);
+    EXPECT_GT(s.rejected, 0u);
+    for (const auto &pc : s.perClass)
+        EXPECT_LE(pc.maxQueueDepth, cfg.queueCapacity);
+}
+
+TEST(ServiceEngine, ClosedLoopBoundsOutstanding)
+{
+    ServiceConfig cfg = smallConfig();
+    cfg.process = ArrivalProcess::ClosedLoop;
+    cfg.closedLoopWindow = 4;
+    cfg.queueCapacity = 0; // the window is the only bound
+    ServiceStats s = runService(cfg);
+    EXPECT_GT(s.completed, 0u);
+    EXPECT_EQ(s.rejected, 0u);
+    for (const auto &pc : s.perClass)
+        EXPECT_LE(pc.maxQueueDepth, cfg.closedLoopWindow);
+}
+
+TEST(ServiceEngine, GangsNeverExceedTrdOperands)
+{
+    ServiceConfig cfg = smallConfig();
+    cfg.ratePerKcycle = 300;
+    cfg.mix = WorkloadMix::parse("bulk:1");
+    ServiceStats s = runService(cfg);
+    EXPECT_GT(s.batch.gangs, 0u);
+    // Members per gang <= TRD - 1 (plus the accumulator row = TRD).
+    EXPECT_LE(s.batch.meanGangSize(),
+              static_cast<double>(cfg.trd - 1));
+    EXPECT_EQ(s.batch.gangedRequests,
+              s.perClass[static_cast<std::size_t>(
+                             RequestClass::BulkBitwise)]
+                  .completed);
+}
+
+TEST(ServiceEngine, BatchingSustainsHigherThroughputUnderLoad)
+{
+    // The tentpole claim at one load point: bulk-heavy overload,
+    // batched vs unbatched, same seed.
+    ServiceConfig cfg = smallConfig();
+    cfg.channels = 2;
+    cfg.durationCycles = 30000;
+    cfg.ratePerKcycle = 500;
+    cfg.mix = WorkloadMix::parse("bulk:0.9,read:0.05,write:0.05");
+    cfg.batching = true;
+    ServiceStats batched = runService(cfg);
+    cfg.batching = false;
+    ServiceStats unbatched = runService(cfg);
+    EXPECT_GT(batched.throughputPerKcycle(),
+              unbatched.throughputPerKcycle());
+    EXPECT_LE(batched.latency.p99(), unbatched.latency.p99());
+    EXPECT_GT(batched.batch.meanGangSize(), 2.0);
+    EXPECT_EQ(unbatched.batch.gangs, 0u);
+}
+
+TEST(ServiceEngine, EmptyWorkloadIsWellFormed)
+{
+    ServiceConfig cfg = smallConfig();
+    cfg.durationCycles = 0; // no arrival fits
+    ServiceStats s = runService(cfg);
+    EXPECT_EQ(s.completed, 0u);
+    EXPECT_EQ(s.makespan, 0u);
+    EXPECT_EQ(s.throughputPerKcycle(), 0.0);
+    (void)s.report(); // must not crash on empty stats
+}
+
+TEST(ServiceEngine, RejectsBadConfigs)
+{
+    ServiceConfig cfg = smallConfig();
+    cfg.channels = 0;
+    EXPECT_THROW(runService(cfg), FatalError);
+    cfg = smallConfig();
+    cfg.ratePerKcycle = 0;
+    EXPECT_THROW(runService(cfg), FatalError);
+    cfg = smallConfig();
+    cfg.process = ArrivalProcess::ClosedLoop;
+    cfg.closedLoopWindow = 0;
+    EXPECT_THROW(runService(cfg), FatalError);
+}
+
+} // namespace
+} // namespace coruscant

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * LatencyHistogram: bucketing accuracy, quantile bounds, and the
+ * merge identity the sharded service engine depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace coruscant {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_EQ(h.p999(), 0u);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact)
+{
+    // Below 2^kLinearBits every value has its own bucket, so
+    // percentiles are exact order statistics.
+    LatencyHistogram h;
+    for (std::uint64_t v = 0; v < 64; ++v)
+        h.record(v);
+    EXPECT_EQ(h.count(), 64u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 63u);
+    EXPECT_EQ(h.percentile(0.5), 31u);  // ceil(.5*64)=32nd value
+    EXPECT_EQ(h.percentile(1.0), 63u);
+    EXPECT_DOUBLE_EQ(h.mean(), 31.5);
+}
+
+TEST(LatencyHistogram, QuantilesWithinRelativeErrorBound)
+{
+    // Log bucketing guarantees the reported quantile is an upper
+    // bound within one sub-bucket (~1/32) of the true order statistic.
+    Rng rng(7);
+    std::vector<std::uint64_t> values;
+    LatencyHistogram h;
+    for (int i = 0; i < 20000; ++i) {
+        std::uint64_t v = rng.nextBelow(1000000);
+        values.push_back(v);
+        h.record(v);
+    }
+    std::sort(values.begin(), values.end());
+    for (double q : {0.5, 0.9, 0.95, 0.99, 0.999}) {
+        std::size_t idx = static_cast<std::size_t>(
+            std::max<double>(0.0, std::ceil(q * values.size()) - 1));
+        double truth = static_cast<double>(values[idx]);
+        double got = static_cast<double>(h.percentile(q));
+        EXPECT_GE(got, truth) << "q=" << q;
+        EXPECT_LE(got, truth * (1.0 + 1.0 / 32 + 1e-9) + 1.0)
+            << "q=" << q;
+    }
+    EXPECT_EQ(h.percentile(1.0), values.back());
+}
+
+TEST(LatencyHistogram, MergeMatchesSingleHistogram)
+{
+    Rng rng(13);
+    LatencyHistogram whole, a, b, c;
+    for (int i = 0; i < 5000; ++i) {
+        std::uint64_t v = rng.next() >> 40;
+        whole.record(v);
+        (i % 3 == 0 ? a : i % 3 == 1 ? b : c).record(v);
+    }
+    // Merge in an arbitrary grouping: results must be identical.
+    LatencyHistogram merged;
+    merged.merge(c);
+    merged.merge(a);
+    merged.merge(b);
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_EQ(merged.max(), whole.max());
+    EXPECT_EQ(merged.min(), whole.min());
+    EXPECT_DOUBLE_EQ(merged.mean(), whole.mean());
+    for (double q : {0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0})
+        EXPECT_EQ(merged.percentile(q), whole.percentile(q)) << q;
+}
+
+TEST(LatencyHistogram, WeightedRecord)
+{
+    LatencyHistogram h, w;
+    for (int i = 0; i < 10; ++i)
+        h.record(100);
+    w.record(100, 10);
+    EXPECT_EQ(h.count(), w.count());
+    EXPECT_EQ(h.percentile(0.5), w.percentile(0.5));
+    EXPECT_DOUBLE_EQ(h.mean(), w.mean());
+    w.record(100, 0); // no-op
+    EXPECT_EQ(w.count(), 10u);
+}
+
+TEST(LatencyHistogram, QuantilesAreMonotone)
+{
+    Rng rng(99);
+    LatencyHistogram h;
+    for (int i = 0; i < 1000; ++i)
+        h.record(1 + rng.nextBelow(100000));
+    std::uint64_t last = 0;
+    for (double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+        std::uint64_t v = h.percentile(q);
+        EXPECT_GE(v, last);
+        last = v;
+    }
+    EXPECT_EQ(last, h.max());
+}
+
+TEST(LatencyHistogram, HugeValuesDoNotOverflow)
+{
+    LatencyHistogram h;
+    h.record(~0ull);
+    h.record(1ull << 62);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.max(), ~0ull);
+    EXPECT_EQ(h.percentile(1.0), ~0ull);
+    EXPECT_GE(h.percentile(0.25), 1ull << 62);
+}
+
+} // namespace
+} // namespace coruscant

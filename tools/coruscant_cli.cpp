@@ -10,8 +10,10 @@
  *   cnn         CNN throughput table (Table IV view)
  *   reliability analytical error rates (Table V view)
  *   campaign    end-to-end shift-fault campaign (DUE/SDC taxonomy)
+ *   serve       sharded request-service simulation (tail latency)
  *
  * Options use --key value pairs; `coruscant_cli help` lists them.
+ * Exit codes: 0 success, 1 runtime error, 2 usage error.
  */
 
 #include <cstdio>
@@ -28,6 +30,7 @@
 #include "dwm/area_model.hpp"
 #include "reliability/error_model.hpp"
 #include "reliability/fault_campaign.hpp"
+#include "service/service_engine.hpp"
 #include "util/logging.hpp"
 
 using namespace coruscant;
@@ -250,9 +253,62 @@ cmdCampaign(const Options &o)
 }
 
 int
-usage()
+cmdServe(const Options &o)
 {
-    std::printf(
+    ServiceConfig cfg;
+    cfg.channels =
+        static_cast<std::uint32_t>(getSize(o, "channels", 8));
+    cfg.threads = static_cast<std::uint32_t>(getSize(o, "threads", 1));
+    cfg.banksPerChannel =
+        static_cast<std::uint32_t>(getSize(o, "banks", 16));
+    cfg.dbcGroupsPerBank =
+        static_cast<std::uint32_t>(getSize(o, "groups", 4));
+    cfg.trd = getSize(o, "trd", 7);
+    cfg.seed = getSize(o, "seed", 1);
+    cfg.ratePerKcycle = getDouble(o, "rate", 8.0);
+    cfg.durationCycles = getSize(o, "duration", 100000);
+    cfg.batchWindowCycles = getSize(o, "window", 256);
+    cfg.queueCapacity = getSize(o, "queue-cap", 64);
+    cfg.bulkHotGroups =
+        static_cast<std::uint32_t>(getSize(o, "hot", 8));
+    cfg.closedLoopWindow =
+        static_cast<std::uint32_t>(getSize(o, "clients", 8));
+    cfg.batching = getString(o, "batch", "on") != "off";
+    std::string mix = getString(o, "mix", "");
+    if (!mix.empty())
+        cfg.mix = WorkloadMix::parse(mix);
+    std::string process = getString(o, "process", "poisson");
+    if (process == "poisson")
+        cfg.process = ArrivalProcess::Poisson;
+    else if (process == "bursty")
+        cfg.process = ArrivalProcess::Bursty;
+    else if (process == "closed")
+        cfg.process = ArrivalProcess::ClosedLoop;
+    else {
+        std::fprintf(stderr,
+                     "unknown process '%s' (poisson, bursty, closed)\n",
+                     process.c_str());
+        return 2;
+    }
+    std::printf("serve: channels=%u threads=%u banks=%u process=%s "
+                "rate=%.3g/kcycle duration=%llu seed=%llu batch=%s "
+                "mix=%s\n",
+                cfg.channels, cfg.threads, cfg.banksPerChannel,
+                arrivalProcessName(cfg.process), cfg.ratePerKcycle,
+                static_cast<unsigned long long>(cfg.durationCycles),
+                static_cast<unsigned long long>(cfg.seed),
+                cfg.batching ? "on" : "off",
+                cfg.mix.describe().c_str());
+    ServiceStats stats = runService(cfg);
+    std::printf("%s", stats.report().c_str());
+    return 0;
+}
+
+void
+usage(std::FILE *out)
+{
+    std::fprintf(
+        out,
         "usage: coruscant_cli <command> [--key value ...]\n\n"
         "commands:\n"
         "  ops         [--trd 7] [--bits 8]     operation costs\n"
@@ -263,8 +319,13 @@ usage()
         "  reliability [--trd 7] [--pfault 1e-6]\n"
         "  campaign    [--pshift 1e-3] [--trials 500] [--seed 1]\n"
         "              [--policy none|per-access|per-cpim|scrub]\n"
-        "              [--retire N]\n");
-    return 1;
+        "              [--retire N]\n"
+        "  serve       [--channels 8] [--threads 1] [--banks 16]\n"
+        "              [--rate 8] [--duration 100000] [--seed 1]\n"
+        "              [--mix read:0.2,bulk:0.5,...] [--batch on|off]\n"
+        "              [--process poisson|bursty|closed] [--window 256]\n"
+        "              [--queue-cap 64] [--clients 8] [--trd 7]\n"
+        "  help                                 this text\n");
 }
 
 } // namespace
@@ -272,9 +333,15 @@ usage()
 int
 main(int argc, char **argv)
 {
-    if (argc < 2)
-        return usage();
+    if (argc < 2) {
+        usage(stderr);
+        return 2;
+    }
     std::string cmd = argv[1];
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+        usage(stdout);
+        return 0;
+    }
     Options opts = parseOptions(argc, argv, 2);
     try {
         if (cmd == "ops")
@@ -291,12 +358,13 @@ main(int argc, char **argv)
             return cmdReliability(opts);
         if (cmd == "campaign")
             return cmdCampaign(opts);
-        if (cmd == "help")
-            return usage() == 1 ? 0 : 0;
+        if (cmd == "serve")
+            return cmdServe(opts);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
-    return usage();
+    usage(stderr);
+    return 2;
 }
