@@ -4,12 +4,25 @@
  * the core device and PIM operations (how fast the *simulator* runs,
  * complementing the modeled device cycles printed by the table
  * benches).
+ *
+ * --metrics-json FILE / --trace FILE (stripped before google-benchmark
+ * sees the argument list) additionally run ONE instrumented pass of
+ * each benchmarked operation and export its modeled primitive counts
+ * ("micro_ops/<bench>" components) and span tree.  The timed loops
+ * themselves stay uninstrumented, so these flags do not perturb the
+ * reported throughput.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "arch/dwm_memory.hpp"
 #include "core/coruscant_unit.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "util/rng.hpp"
 
 using namespace coruscant;
@@ -129,6 +142,141 @@ BM_NmrVote(benchmark::State &state)
 }
 BENCHMARK(BM_NmrVote)->Arg(3)->Arg(5)->Arg(7);
 
+/**
+ * One instrumented execution of every benchmarked operation: modeled
+ * primitive counts per "micro_ops/<bench>" component, plus spans when
+ * tracing.  Deterministic (fixed seeds, single pass).
+ */
+int
+emitObservability(const std::string &metrics_path,
+                  const std::string &trace_path)
+{
+    obs::MetricsRegistry reg;
+    obs::TraceSink trace;
+    if (!trace_path.empty()) {
+        trace.enable();
+        trace.processName(0, "micro_ops");
+    }
+    std::uint32_t tid = 0;
+    auto unitFor = [&](const char *name, std::size_t trd) {
+        CoruscantUnit unit(params(trd));
+        unit.attachMetrics(
+            &reg.component(std::string("micro_ops/") + name));
+        unit.attachTrace(&trace, 0, tid++);
+        return unit;
+    };
+
+    {
+        DomainBlockCluster dbc(params(7));
+        dbc.attachMetrics(
+            &reg.component("micro_ops/transverse_read_all"));
+        Rng rng(1);
+        for (std::size_t r = 0; r < 32; ++r)
+            dbc.pokeRow(r, randomRow(rng, 512));
+        dbc.transverseReadAll();
+    }
+    {
+        CoruscantUnit unit = unitFor("bulk_and7", 7);
+        Rng rng(2);
+        std::vector<BitVector> ops;
+        for (int i = 0; i < 7; ++i)
+            ops.push_back(randomRow(rng, 512));
+        unit.bulkBitwise(BulkOp::And, ops);
+    }
+    {
+        CoruscantUnit unit = unitFor("five_operand_add", 7);
+        Rng rng(3);
+        std::vector<BitVector> ops;
+        for (int i = 0; i < 5; ++i)
+            ops.push_back(randomRow(rng, 512));
+        unit.add(ops, 8);
+    }
+    {
+        CoruscantUnit unit = unitFor("multiply_8bit", 7);
+        Rng rng(4);
+        BitVector a = randomRow(rng, 512);
+        BitVector b = randomRow(rng, 512);
+        unit.multiply(a, b, 8);
+    }
+    {
+        CoruscantUnit unit = unitFor("max_of_rows_tw", 7);
+        Rng rng(5);
+        std::vector<BitVector> cands;
+        for (int i = 0; i < 7; ++i)
+            cands.push_back(randomRow(rng, 512));
+        unit.maxOfRows(cands, 8, 0, true);
+    }
+    {
+        obs::MetricsRegistry mem_reg;
+        DwmMainMemory mem;
+        mem.attachObs(mem_reg, trace_path.empty() ? nullptr : &trace,
+                      tid++);
+        Rng rng(6);
+        mem.writeLine(0, randomRow(rng, 512));
+        mem.readLine(0);
+        reg.mergePrefixed(mem_reg, "micro_ops/memory_read_line");
+    }
+    {
+        CoruscantUnit unit = unitFor("nmr_vote3", 7);
+        Rng rng(7);
+        std::vector<BitVector> reps(3);
+        for (auto &r : reps)
+            r = randomRow(rng, 512);
+        unit.nmrVote(reps);
+    }
+
+    if (!metrics_path.empty()) {
+        std::ofstream os(metrics_path);
+        if (os)
+            os << reg.toJson();
+        if (!os) {
+            std::fprintf(stderr, "error: cannot write '%s'\n",
+                         metrics_path.c_str());
+            return 1;
+        }
+    }
+    if (!trace_path.empty()) {
+        std::ofstream os(trace_path);
+        if (os)
+            trace.writeJson(os);
+        if (!os) {
+            std::fprintf(stderr, "error: cannot write '%s'\n",
+                         trace_path.c_str());
+            return 1;
+        }
+    }
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    std::string metrics_path, trace_path;
+    std::vector<char *> rest;
+    rest.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--metrics-json" || a == "--trace") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "option '%s' requires a value\n",
+                             argv[i]);
+                return 2;
+            }
+            (a == "--trace" ? trace_path : metrics_path) = argv[++i];
+        } else {
+            rest.push_back(argv[i]);
+        }
+    }
+    int rest_argc = static_cast<int>(rest.size());
+    benchmark::Initialize(&rest_argc, rest.data());
+    if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    if (!metrics_path.empty() || !trace_path.empty())
+        return emitObservability(metrics_path, trace_path);
+    return 0;
+}

@@ -12,15 +12,23 @@
  * configuration's worst p99.
  *
  * Usage: service_tail_latency [--rate R] [--duration N] [--channels C]
+ *                             [--metrics-json FILE] [--trace FILE]
  *   --rate runs a single load point (CI smoke); default sweeps.
+ *   --metrics-json merges every run's per-component counters into one
+ *     registry, prefixed "rate<R>/batched|unbatched".  --trace records
+ *     the last batched run (one full sweep of overlapping timelines
+ *     would be unreadable).  Both flags add per-request bookkeeping,
+ *     so leave them off when measuring simulator throughput.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "service/service_engine.hpp"
+#include "util/cli_args.hpp"
 
 using namespace coruscant;
 
@@ -60,22 +68,25 @@ printStats(const char *key, const ServiceStats &s, bool last)
 int
 main(int argc, char **argv)
 {
-    std::vector<double> rates = {50, 100, 200, 300, 400, 600, 800};
-    std::uint64_t duration = 100000;
-    std::uint32_t channels = 4;
-    for (int i = 1; i + 1 < argc; i += 2) {
-        if (!std::strcmp(argv[i], "--rate"))
-            rates = {std::stod(argv[i + 1])};
-        else if (!std::strcmp(argv[i], "--duration"))
-            duration = std::stoull(argv[i + 1]);
-        else if (!std::strcmp(argv[i], "--channels"))
-            channels = static_cast<std::uint32_t>(
-                std::stoul(argv[i + 1]));
-        else {
-            std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
-            return 2;
-        }
+    ParsedArgs o = parseArgs(
+        std::vector<std::string>(argv + 1, argv + argc),
+        {{"rate", ArgType::Double},
+         {"duration", ArgType::Size},
+         {"channels", ArgType::Size},
+         {"metrics-json", ArgType::String},
+         {"trace", ArgType::String}});
+    if (!o.ok()) {
+        std::fprintf(stderr, "error: %s\n", o.error().c_str());
+        return 2;
     }
+    std::vector<double> rates = {50, 100, 200, 300, 400, 600, 800};
+    if (o.has("rate"))
+        rates = {o.getDouble("rate", 0.0)};
+    std::uint64_t duration = o.getSize("duration", 100000);
+    std::uint32_t channels =
+        static_cast<std::uint32_t>(o.getSize("channels", 4));
+    bool want_metrics = o.has("metrics-json");
+    bool want_trace = o.has("trace");
 
     ServiceConfig cfg;
     cfg.channels = channels;
@@ -87,15 +98,31 @@ main(int argc, char **argv)
     // on hot accumulator groups — the workload Sec. V-C batches.
     cfg.mix = WorkloadMix::parse("bulk:0.9,read:0.05,write:0.05");
 
+    obs::MetricsRegistry merged;
+    obs::TraceSink trace;
+    cfg.collectMetrics = want_metrics;
     std::vector<Point> sweep;
-    for (double rate : rates) {
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        double rate = rates[i];
         Point p;
         p.rate = rate;
         cfg.ratePerKcycle = rate;
         cfg.batching = true;
+        cfg.collectTrace = want_trace && i + 1 == rates.size();
         p.batched = runService(cfg);
         cfg.batching = false;
+        cfg.collectTrace = false;
         p.unbatched = runService(cfg);
+        if (want_metrics) {
+            char prefix[64];
+            std::snprintf(prefix, sizeof prefix, "rate%g", rate);
+            merged.mergePrefixed(p.batched.metrics,
+                                 std::string(prefix) + "/batched");
+            merged.mergePrefixed(p.unbatched.metrics,
+                                 std::string(prefix) + "/unbatched");
+        }
+        if (want_trace && i + 1 == rates.size())
+            trace.append(p.batched.trace);
         sweep.push_back(std::move(p));
     }
 
@@ -144,5 +171,26 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(target_p99), best_batched,
         best_unbatched);
     std::printf("}\n");
+
+    if (want_metrics) {
+        std::ofstream os(o.getString("metrics-json", ""));
+        if (os)
+            os << merged.toJson();
+        if (!os) {
+            std::fprintf(stderr, "error: cannot write '%s'\n",
+                         o.getString("metrics-json", "").c_str());
+            return 1;
+        }
+    }
+    if (want_trace) {
+        std::ofstream os(o.getString("trace", ""));
+        if (os)
+            trace.writeJson(os);
+        if (!os) {
+            std::fprintf(stderr, "error: cannot write '%s'\n",
+                         o.getString("trace", "").c_str());
+            return 1;
+        }
+    }
     return 0;
 }

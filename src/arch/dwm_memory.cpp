@@ -25,6 +25,24 @@ DwmMainMemory::DwmMainMemory(const MemoryConfig &config)
     }
 }
 
+void
+DwmMainMemory::attachObs(obs::MetricsRegistry &reg, obs::TraceSink *trace,
+                         std::uint32_t pid)
+{
+    memMetrics = &reg.component("memory");
+    dbcMetrics = &reg.component("memory/dbc");
+    pimMetrics = &reg.component("memory/pim");
+    guardMetrics = &reg.component("guard");
+    traceSink = trace;
+    tracePid = pid;
+    for (auto &[id, state] : dbcs)
+        state->dbc.attachMetrics(dbcMetrics);
+    for (auto &[id, unit] : pimUnits) {
+        unit->attachMetrics(pimMetrics);
+        unit->attachTrace(trace, pid, static_cast<std::uint32_t>(id));
+    }
+}
+
 DwmMainMemory::MemDbc &
 DwmMainMemory::materialize(std::uint64_t physical_id,
                            std::uint64_t logical_id)
@@ -38,6 +56,8 @@ DwmMainMemory::materialize(std::uint64_t physical_id,
         guard->install(state.dbc);
     if (shiftInjector)
         state.dbc.attachShiftFaults(shiftInjector.get());
+    if (dbcMetrics)
+        state.dbc.attachMetrics(dbcMetrics);
     return state;
 }
 
@@ -82,22 +102,32 @@ DwmMainMemory::guardMaintain(MemDbc &state, GuardReport *report)
         return state;
     GuardCorrection r = guard->correct(state.dbc);
     ++guardChecks_;
-    costs.charge("guard", r.guardTrs * cfg.device.trCycles,
-                 static_cast<double>(r.guardTrs)
-                     * cfg.device.trEnergyPj(cfg.device.trd));
+    double guard_pj = static_cast<double>(r.guardTrs)
+                      * cfg.device.trEnergyPj(cfg.device.trd);
+    costs.charge("guard", r.guardTrs * cfg.device.trCycles, guard_pj);
+    if (guardMetrics) {
+        guardMetrics->add(obs::Counter::TrPulses, r.guardTrs);
+        guardMetrics->addEnergy(guard_pj);
+    }
     std::size_t fix_shifts = r.correctiveShifts;
     if (fix_shifts > 0) {
-        costs.charge("guard_fix",
-                     fix_shifts * cfg.device.shiftCycles,
-                     static_cast<double>(fix_shifts)
-                         * static_cast<double>(dbcParams.wiresPerDbc)
-                         * cfg.device.shiftEnergyPj);
+        double fix_pj = static_cast<double>(fix_shifts)
+                        * static_cast<double>(dbcParams.wiresPerDbc)
+                        * cfg.device.shiftEnergyPj;
+        costs.charge("guard_fix", fix_shifts * cfg.device.shiftCycles,
+                     fix_pj);
+        if (guardMetrics) {
+            guardMetrics->add(obs::Counter::Shifts, fix_shifts);
+            guardMetrics->addEnergy(fix_pj);
+        }
     }
     bool misaligned = r.initial != AlignmentStatus::Aligned;
     if (misaligned)
         ++detected_;
     if (r.aligned) {
         corrected_ += r.correctiveShifts;
+        if (guardMetrics && r.corrected)
+            guardMetrics->add(obs::Counter::MisalignCorrections);
     } else {
         ++uncorrectable_;
     }
@@ -112,12 +142,15 @@ DwmMainMemory::guardMaintain(MemDbc &state, GuardReport *report)
         // again from here on instead of false-alarming forever.
         guard->install(state.dbc);
         std::size_t rows = cfg.device.domainsPerWire;
+        double reset_pj = static_cast<double>(rows)
+                          * (cfg.device.shiftEnergyPj
+                             + cfg.device.writeEnergyPj);
         costs.charge("guard_reset",
                      rows * (cfg.device.shiftCycles
                              + cfg.device.writeCycles),
-                     static_cast<double>(rows)
-                         * (cfg.device.shiftEnergyPj
-                            + cfg.device.writeEnergyPj));
+                     reset_pj);
+        if (guardMetrics)
+            guardMetrics->addEnergy(reset_pj);
     }
     state.corrected += r.corrected ? r.correctiveShifts : 0;
     if (report) {
@@ -156,12 +189,15 @@ DwmMainMemory::retire(MemDbc &state)
     std::size_t rows = cfg.device.domainsPerWire;
     for (std::size_t r = 0; r < rows; ++r)
         fresh.dbc.pokeRow(r, state.dbc.peekRow(r));
+    double retire_pj = static_cast<double>(rows)
+                       * static_cast<double>(dbcParams.wiresPerDbc)
+                       * (cfg.device.readEnergyPj
+                          + cfg.device.writeEnergyPj);
     costs.charge("retire",
                  rows * (cfg.device.readCycles + cfg.device.writeCycles),
-                 static_cast<double>(rows)
-                     * static_cast<double>(dbcParams.wiresPerDbc)
-                     * (cfg.device.readEnergyPj
-                        + cfg.device.writeEnergyPj));
+                 retire_pj);
+    if (guardMetrics)
+        guardMetrics->addEnergy(retire_pj);
     remap[logical] = spare_id;
     dbcs.erase(old_physical); // invalidates `state`
     return &fresh;
@@ -195,6 +231,7 @@ DwmMainMemory::scrubAll()
     ScrubReport report;
     if (!guard)
         return report;
+    std::uint64_t scrub_start = costs.cycles();
     // unordered_map order is not deterministic; sweep sorted so runs
     // with a fixed seed are bit-identical.
     std::vector<std::uint64_t> ids;
@@ -213,6 +250,12 @@ DwmMainMemory::scrubAll()
             ++report.corrected;
         if (one.uncorrectable)
             ++report.uncorrectable;
+    }
+    if (traceSink) {
+        traceSink->span("guard_scrub", "guard", scrub_start,
+                        costs.cycles() - scrub_start, tracePid, 0,
+                        "scanned",
+                        static_cast<double>(report.scanned));
     }
     return report;
 }
@@ -255,12 +298,17 @@ DwmMainMemory::readLine(std::uint64_t byte_addr)
     unsigned shifts = 0;
     MemDbc &state = alignChecked(loc, shifts);
     DomainBlockCluster &dbc = state.dbc;
-    costs.charge("read", cfg.dwmTiming.readCycles(shifts),
-                 static_cast<double>(cfg.device.wiresPerDbc)
+    double read_pj = static_cast<double>(cfg.device.wiresPerDbc)
                          * cfg.device.readEnergyPj +
                      static_cast<double>(shifts)
                          * static_cast<double>(cfg.device.wiresPerDbc)
-                         * cfg.device.shiftEnergyPj);
+                         * cfg.device.shiftEnergyPj;
+    costs.charge("read", cfg.dwmTiming.readCycles(shifts), read_pj);
+    if (memMetrics) {
+        memMetrics->add(obs::Counter::Reads);
+        memMetrics->add(obs::Counter::Shifts, shifts);
+        memMetrics->addEnergy(read_pj);
+    }
     // After alignment the row sits under one of the ports.
     Port port = dbc.rowAtPort(Port::Left) == loc.row ? Port::Left
                                                      : Port::Right;
@@ -280,12 +328,17 @@ DwmMainMemory::writeLine(std::uint64_t byte_addr, const BitVector &data)
     unsigned shifts = 0;
     MemDbc &state = alignChecked(loc, shifts);
     DomainBlockCluster &dbc = state.dbc;
-    costs.charge("write", cfg.dwmTiming.writeCycles(shifts),
-                 static_cast<double>(cfg.device.wiresPerDbc)
-                         * cfg.device.writeEnergyPj +
-                     static_cast<double>(shifts)
-                         * static_cast<double>(cfg.device.wiresPerDbc)
-                         * cfg.device.shiftEnergyPj);
+    double write_pj = static_cast<double>(cfg.device.wiresPerDbc)
+                          * cfg.device.writeEnergyPj +
+                      static_cast<double>(shifts)
+                          * static_cast<double>(cfg.device.wiresPerDbc)
+                          * cfg.device.shiftEnergyPj;
+    costs.charge("write", cfg.dwmTiming.writeCycles(shifts), write_pj);
+    if (memMetrics) {
+        memMetrics->add(obs::Counter::Writes);
+        memMetrics->add(obs::Counter::Shifts, shifts);
+        memMetrics->addEnergy(write_pj);
+    }
     Port port = dbc.rowAtPort(Port::Left) == loc.row ? Port::Left
                                                      : Port::Right;
     if (guard) {
@@ -313,6 +366,8 @@ DwmMainMemory::copyLine(std::uint64_t src_addr, std::uint64_t dst_addr)
     if (src.bank != dst.bank || src.subarray != dst.subarray) {
         costs.charge("interlink", cfg.bus.lineBurstCycles(),
                      64.0 * 2.0); // internal link energy per byte x2
+        if (memMetrics)
+            memMetrics->addEnergy(64.0 * 2.0);
     }
     writeLine(dst_addr, line);
     costs.charge("rowclone", 0, 0); // marker for reporting
@@ -351,6 +406,11 @@ DwmMainMemory::pimUnit(std::size_t bank, std::size_t subarray,
                  .first;
         if (shiftInjector && cfg.reliability.faultPimUnits)
             it->second->attachShiftFaults(shiftInjector.get());
+        if (pimMetrics) {
+            it->second->attachMetrics(pimMetrics);
+            it->second->attachTrace(traceSink, tracePid,
+                                    static_cast<std::uint32_t>(id));
+        }
     }
     return *it->second;
 }

@@ -32,6 +32,8 @@
 #include "dwm/alignment_guard.hpp"
 #include "dwm/dbc.hpp"
 #include "dwm/shift_fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "util/stats.hpp"
 
 namespace coruscant {
@@ -95,6 +97,26 @@ class DwmMainMemory
 
     /** Guard-check every materialized DBC (deterministic order). */
     ScrubReport scrubAll();
+
+    // --- Observability ---------------------------------------------------
+
+    /**
+     * Attach observability.  Components created in @p reg:
+     *  - "memory": modeled line accesses (Reads/Writes at line
+     *    granularity, access shifts, access energy);
+     *  - "memory/dbc": functional device primitives of every
+     *    materialized DBC (existing and future), whatever triggered
+     *    them;
+     *  - "memory/pim": modeled primitives charged by the PIM units;
+     *  - "guard": guard TRs, corrective shifts, corrected
+     *    misalignments, and reliability-pipeline energy.
+     * "memory" and "memory/dbc" observe the same accesses at different
+     * abstraction levels, so compare counters within a component, not
+     * across them.  Scrub sweeps and PIM ops emit spans on @p trace
+     * (process row @p pid) when given.  Both are non-owning.
+     */
+    void attachObs(obs::MetricsRegistry &reg,
+                   obs::TraceSink *trace = nullptr, std::uint32_t pid = 0);
 
     // --- Reliability statistics -----------------------------------------
 
@@ -192,6 +214,12 @@ class DwmMainMemory
     std::unordered_map<std::uint64_t, std::unique_ptr<CoruscantUnit>>
         pimUnits;
     CostLedger costs;
+    obs::ComponentMetrics *memMetrics = nullptr;   ///< non-owning
+    obs::ComponentMetrics *dbcMetrics = nullptr;   ///< non-owning
+    obs::ComponentMetrics *pimMetrics = nullptr;   ///< non-owning
+    obs::ComponentMetrics *guardMetrics = nullptr; ///< non-owning
+    obs::TraceSink *traceSink = nullptr;           ///< non-owning
+    std::uint32_t tracePid = 0;
     std::uint64_t shiftSteps = 0;
     std::uint64_t accesses = 0;
     std::uint64_t guardChecks_ = 0;

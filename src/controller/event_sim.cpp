@@ -9,7 +9,8 @@ namespace coruscant {
 
 SimStats
 EventSimulator::run(std::vector<SimRequest> requests,
-                    SchedulePolicy policy) const
+                    SchedulePolicy policy, obs::TraceSink *trace,
+                    std::uint32_t pid) const
 {
     SimStats stats;
     stats.requests = requests.size();
@@ -28,6 +29,16 @@ EventSimulator::run(std::vector<SimRequest> requests,
     std::uint64_t issued_cmds = 0;
     std::uint64_t busy_total = 0;
     double latency_sum = 0;
+    // Queue-depth tracking: dispatch start times are monotone (each
+    // dispatch advances bus_free past its start), so a single pointer
+    // over the arrival-sorted array counts arrivals <= now.
+    std::vector<std::uint64_t> arrivals;
+    std::size_t arrived = 0, dispatched = 0;
+    if (trace && trace->on()) {
+        arrivals.reserve(requests.size());
+        for (const auto &r : requests)
+            arrivals.push_back(r.arrival);
+    }
 
     auto start_for = [&](const SimRequest &r) {
         // Commands can only be accepted once the bank is free (the
@@ -48,6 +59,18 @@ EventSimulator::run(std::vector<SimRequest> requests,
         stats.latency.record(latency);
         stats.maxLatency = std::max(stats.maxLatency, latency);
         stats.makespan = std::max(stats.makespan, completion);
+        if (trace && trace->on()) {
+            trace->span("request", "memchan", start,
+                        r.issueCmds + r.serviceCycles, pid,
+                        static_cast<std::uint32_t>(r.bank), "latency",
+                        static_cast<double>(latency));
+            while (arrived < arrivals.size() &&
+                   arrivals[arrived] <= start)
+                ++arrived;
+            ++dispatched;
+            trace->counter("queue_depth", start, pid,
+                           static_cast<double>(arrived - dispatched));
+        }
     };
 
     if (policy == SchedulePolicy::InOrder) {

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/trace_sink.hpp"
 #include "util/stats.hpp"
 
 namespace coruscant {
@@ -68,10 +69,13 @@ class EventSimulator
 
     /**
      * Run @p requests (any order; sorted internally by arrival) under
-     * @p policy.
+     * @p policy.  When @p trace is given, every dispatched request
+     * emits a complete span on row (@p pid, bank) and the pending
+     * queue depth is sampled as a counter track at each dispatch.
      */
-    SimStats run(std::vector<SimRequest> requests,
-                 SchedulePolicy policy) const;
+    SimStats run(std::vector<SimRequest> requests, SchedulePolicy policy,
+                 obs::TraceSink *trace = nullptr,
+                 std::uint32_t pid = 0) const;
 
   private:
     std::size_t numBanks;

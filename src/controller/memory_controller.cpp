@@ -116,6 +116,7 @@ MemoryController::executeGuarded(const CpimInstruction &inst)
     fatalIf(!err.empty(), describe(inst), ": ", err);
 
     ++executed;
+    std::uint64_t cycles_before = mem.ledger().cycles();
     ExecReport report;
     const ReliabilityConfig &rel = mem.config().reliability;
     if (rel.guardPolicy != GuardPolicy::PerCpim) {
@@ -131,6 +132,7 @@ MemoryController::executeGuarded(const CpimInstruction &inst)
         } else if (mem.correctedMisalignments() > fix_before) {
             report.outcome = ExecOutcome::Corrected;
         }
+        noteExecution(inst, report, cycles_before);
         return report;
     }
 
@@ -175,7 +177,26 @@ MemoryController::executeGuarded(const CpimInstruction &inst)
     } else if (corrected) {
         report.outcome = ExecOutcome::Corrected;
     }
+    noteExecution(inst, report, cycles_before);
     return report;
+}
+
+void
+MemoryController::noteExecution(const CpimInstruction &inst,
+                                const ExecReport &report,
+                                std::uint64_t cycles_before)
+{
+    if (metrics) {
+        metrics->add(obs::Counter::Requests);
+        metrics->add(obs::Counter::Retries, report.retries);
+    }
+    if (traceSink && traceSink->on()) {
+        LineAddress src = mem.addressMap().decode(inst.src);
+        traceSink->span(cpimOpName(inst.op), "cpim", cycles_before,
+                        mem.ledger().cycles() - cycles_before, tracePid,
+                        static_cast<std::uint32_t>(src.bank), "retries",
+                        static_cast<double>(report.retries));
+    }
 }
 
 BitVector

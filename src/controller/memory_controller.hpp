@@ -80,6 +80,21 @@ class MemoryController
     /** Byte address of operand row @p i for an instruction at @p src. */
     std::uint64_t operandAddress(std::uint64_t src, std::size_t i) const;
 
+    /**
+     * Attach observability: each cpim counts one Request (plus its
+     * ladder Retries) into @p m, and emits one complete span on
+     * @p trace covering the instruction's slice of the memory's cycle
+     * timeline, on row (@p pid, source bank).  Non-owning.
+     */
+    void
+    attachObs(obs::ComponentMetrics *m, obs::TraceSink *trace = nullptr,
+              std::uint32_t pid = 0)
+    {
+        metrics = m;
+        traceSink = trace;
+        tracePid = pid;
+    }
+
     /** Total instructions executed. */
     std::uint64_t executedInstructions() const { return executed; }
 
@@ -95,7 +110,15 @@ class MemoryController
   private:
     BitVector computeOnce(const CpimInstruction &inst);
 
+    /** Record counters and the instruction span after an execution. */
+    void noteExecution(const CpimInstruction &inst,
+                       const ExecReport &report,
+                       std::uint64_t cycles_before);
+
     DwmMainMemory &mem;
+    obs::ComponentMetrics *metrics = nullptr; ///< non-owning, optional
+    obs::TraceSink *traceSink = nullptr;      ///< non-owning, optional
+    std::uint32_t tracePid = 0;
     std::uint64_t executed = 0;
     std::uint64_t retried = 0;
     std::uint64_t uncorrectableCount = 0;

@@ -55,38 +55,43 @@ CoruscantUnit::chargedAlignWindow(std::size_t start_row,
 void
 CoruscantUnit::chargeTrAll(std::size_t active_wires)
 {
-    costs.charge("tr", dev.trCycles,
-                 static_cast<double>(active_wires)
-                     * (dev.trEnergyPj(dev.trd) + dev.pimLogicEnergyPj));
+    double pj = static_cast<double>(active_wires)
+                * (dev.trEnergyPj(dev.trd) + dev.pimLogicEnergyPj);
+    costs.charge("tr", dev.trCycles, pj);
+    noteCost(obs::Counter::TrPulses, 1, pj);
 }
 
 void
 CoruscantUnit::chargeTrLanes(std::size_t lanes)
 {
-    costs.charge("tr", dev.trCycles,
-                 static_cast<double>(lanes)
-                     * (dev.trEnergyPj(dev.trd) + dev.pimLogicEnergyPj));
+    double pj = static_cast<double>(lanes)
+                * (dev.trEnergyPj(dev.trd) + dev.pimLogicEnergyPj);
+    costs.charge("tr", dev.trCycles, pj);
+    noteCost(obs::Counter::TrPulses, 1, pj);
 }
 
 void
 CoruscantUnit::chargeRowWrite(std::size_t active_wires)
 {
-    costs.charge("write", dev.writeCycles,
-                 static_cast<double>(active_wires) * dev.writeEnergyPj);
+    double pj = static_cast<double>(active_wires) * dev.writeEnergyPj;
+    costs.charge("write", dev.writeCycles, pj);
+    noteCost(obs::Counter::Writes, 1, pj);
 }
 
 void
 CoruscantUnit::chargeRowRead(std::size_t active_wires)
 {
-    costs.charge("read", dev.readCycles,
-                 static_cast<double>(active_wires) * dev.readEnergyPj);
+    double pj = static_cast<double>(active_wires) * dev.readEnergyPj;
+    costs.charge("read", dev.readCycles, pj);
+    noteCost(obs::Counter::Reads, 1, pj);
 }
 
 void
 CoruscantUnit::chargeBitWrites(std::size_t bits)
 {
-    costs.charge("write", dev.writeCycles,
-                 static_cast<double>(bits) * dev.writeEnergyPj);
+    double pj = static_cast<double>(bits) * dev.writeEnergyPj;
+    costs.charge("write", dev.writeCycles, pj);
+    noteCost(obs::Counter::Writes, 1, pj);
 }
 
 void
@@ -94,17 +99,18 @@ CoruscantUnit::chargeShifts(std::size_t steps, std::size_t active_wires)
 {
     if (steps == 0)
         return;
-    costs.charge("shift", steps * dev.shiftCycles,
-                 static_cast<double>(steps)
-                     * static_cast<double>(active_wires)
-                     * dev.shiftEnergyPj);
+    double pj = static_cast<double>(steps)
+                * static_cast<double>(active_wires) * dev.shiftEnergyPj;
+    costs.charge("shift", steps * dev.shiftCycles, pj);
+    noteCost(obs::Counter::Shifts, steps, pj);
 }
 
 void
 CoruscantUnit::chargeTwRow(std::size_t active_wires)
 {
-    costs.charge("tw", dev.twCycles,
-                 static_cast<double>(active_wires) * dev.twEnergyPj);
+    double pj = static_cast<double>(active_wires) * dev.twEnergyPj;
+    costs.charge("tw", dev.twCycles, pj);
+    noteCost(obs::Counter::TwPulses, 1, pj);
 }
 
 // ---------------------------------------------------------------------
@@ -137,6 +143,7 @@ CoruscantUnit::stageWindow(const std::vector<BitVector> &interior_rows,
 std::vector<std::uint16_t>
 CoruscantUnit::segmentedPopcount()
 {
+    OpSpan span(*this, "segmented_popcount");
     std::size_t act = dev.wiresPerDbc;
     auto window = dbc.transverseReadAll(&faults);
     chargeTrAll(act);
@@ -150,10 +157,10 @@ CoruscantUnit::segmentedPopcount()
                                    dev.totalDomains()
                                        - dev.leftOverhead()
                                        - dev.rightPortRow() - 1);
-    costs.charge("tr", dev.trCycles,
-                 static_cast<double>(act)
-                     * (dev.trEnergyPj(longest)
-                        + dev.pimLogicEnergyPj));
+    double outer_pj = static_cast<double>(act)
+                      * (dev.trEnergyPj(longest) + dev.pimLogicEnergyPj);
+    costs.charge("tr", dev.trCycles, outer_pj);
+    noteCost(obs::Counter::TrPulses, 1, outer_pj);
     std::vector<std::uint16_t> totals(act, 0);
     for (std::size_t w = 0; w < act; ++w) {
         totals[w] = static_cast<std::uint16_t>(
@@ -171,6 +178,7 @@ CoruscantUnit::bulkBitwise(BulkOp op, const std::vector<BitVector> &operands,
                            std::size_t active_wires, bool write_back,
                            bool use_tw)
 {
+    OpSpan span(*this, "bulk_bitwise");
     std::size_t act = resolveActive(active_wires);
     std::size_t m = operands.size();
     fatalIf(m == 0, "bulk op needs at least one operand");

@@ -42,6 +42,8 @@
 #include "dwm/dbc.hpp"
 #include "dwm/device_params.hpp"
 #include "dwm/fault_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "util/bit_vector.hpp"
 #include "util/stats.hpp"
 
@@ -101,6 +103,32 @@ class CoruscantUnit
     attachShiftFaults(ShiftFaultModel *model)
     {
         dbc.attachShiftFaults(model);
+    }
+
+    /**
+     * Attach an observability counter set: the charged primitives
+     * (shift pulses, TRs, TWs, port reads/writes) and their energy
+     * are mirrored into it.  Counts reflect the *modeled* cost — one
+     * pulse per charge — not the functional simulation's internal
+     * accesses, so the unit's internal DBC is deliberately left
+     * uninstrumented (attaching both would double-count).
+     * Non-owning; nullptr detaches.
+     */
+    void attachMetrics(obs::ComponentMetrics *m) { metrics = m; }
+
+    /**
+     * Attach a trace sink: every public operation emits one complete
+     * span on row (@p pid, @p tid) covering its slice of the modeled
+     * cycle timeline (the ledger's cycle counter is the clock).
+     * Non-owning; nullptr detaches.
+     */
+    void
+    attachTrace(obs::TraceSink *sink, std::uint32_t pid = 0,
+                std::uint32_t tid = 0)
+    {
+        trace = sink;
+        tracePid = pid;
+        traceTid = tid;
     }
 
     // ------------------------------------------------------------------
@@ -278,6 +306,50 @@ class CoruscantUnit
   private:
     friend class CoruscantUnitTestPeer;
 
+    /**
+     * RAII span over a public operation: captures the ledger's cycle
+     * counter on entry and emits a complete trace event on exit.
+     * Nested operations (multiply -> reduce -> add) produce properly
+     * nested spans because they share the same modeled clock.
+     */
+    class OpSpan
+    {
+      public:
+        OpSpan(CoruscantUnit &u, const char *name)
+            : unit(u), opName(name),
+              active(u.trace != nullptr && u.trace->on()),
+              start(active ? u.costs.cycles() : 0)
+        {
+        }
+
+        ~OpSpan()
+        {
+            if (active)
+                unit.trace->span(opName, "cpim", start,
+                                 unit.costs.cycles() - start,
+                                 unit.tracePid, unit.traceTid);
+        }
+
+        OpSpan(const OpSpan &) = delete;
+        OpSpan &operator=(const OpSpan &) = delete;
+
+      private:
+        CoruscantUnit &unit;
+        const char *opName;
+        bool active;
+        std::uint64_t start;
+    };
+
+    /** Mirror a charged primitive into the attached counter set. */
+    void
+    noteCost(obs::Counter c, std::uint64_t n, double energy_pj)
+    {
+        if (metrics) {
+            metrics->add(c, n);
+            metrics->addEnergy(energy_pj);
+        }
+    }
+
     // Charged device primitives (implementation helpers).
     std::size_t chargedAlignWindow(std::size_t start_row,
                                    std::size_t active_wires);
@@ -305,6 +377,10 @@ class CoruscantUnit
     DomainBlockCluster dbc;
     TrFaultModel faults;
     CostLedger costs;
+    obs::ComponentMetrics *metrics = nullptr; ///< non-owning, optional
+    obs::TraceSink *trace = nullptr;          ///< non-owning, optional
+    std::uint32_t tracePid = 0;
+    std::uint32_t traceTid = 0;
 };
 
 } // namespace coruscant

@@ -32,6 +32,7 @@ BitVector
 CoruscantUnit::add(const std::vector<BitVector> &operands,
                    std::size_t block_size, std::size_t active_wires)
 {
+    OpSpan span(*this, "add");
     std::size_t act = resolveActive(active_wires);
     std::size_t m = operands.size();
     fatalIf(m == 0, "addition needs at least one operand");
@@ -92,6 +93,7 @@ CsaRows
 CoruscantUnit::reduce(const std::vector<BitVector> &rows,
                       std::size_t block_size, std::size_t active_wires)
 {
+    OpSpan span(*this, "reduce");
     std::size_t act = resolveActive(active_wires);
     std::size_t m = rows.size();
     const bool has_super = dev.trd >= 5;
@@ -147,6 +149,7 @@ CoruscantUnit::reduceAndSum(std::vector<BitVector> rows,
                             std::size_t block_size,
                             std::size_t active_wires)
 {
+    OpSpan span(*this, "reduce_and_sum");
     std::size_t act = resolveActive(active_wires);
     fatalIf(rows.empty(), "reduceAndSum needs at least one row");
     // Below TRD = 5 the reduction has no super carry: 3->2 only.
@@ -184,6 +187,7 @@ CoruscantUnit::addStepVoted(const std::vector<BitVector> &operands,
                             std::size_t block_size, std::size_t n,
                             std::size_t active_wires)
 {
+    OpSpan span(*this, "add_step_voted");
     std::size_t act = resolveActive(active_wires);
     std::size_t m = operands.size();
     fatalIf(n != 3 && n != 5 && n != 7,
@@ -242,8 +246,11 @@ CoruscantUnit::addStepVoted(const std::vector<BitVector> &operands,
         for (std::size_t r = 0; r < n; ++r)
             chargeTrLanes(lanes);
         // One voting-logic cycle plus the parallel write.
-        costs.charge("vote", 1, static_cast<double>(lanes)
-                                    * dev.pimLogicEnergyPj);
+        double vote_pj =
+            static_cast<double>(lanes) * dev.pimLogicEnergyPj;
+        costs.charge("vote", 1, vote_pj);
+        if (metrics)
+            metrics->addEnergy(vote_pj);
         chargeBitWrites(bits_written);
     }
     return dbc.peekRow(s_row);

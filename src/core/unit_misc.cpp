@@ -27,6 +27,7 @@ CoruscantUnit::maxOfRows(const std::vector<BitVector> &candidates,
                          std::size_t word_bits, std::size_t active_wires,
                          bool use_tw)
 {
+    OpSpan span(*this, "max_of_rows");
     std::size_t act = resolveActive(active_wires);
     std::size_t m = candidates.size();
     fatalIf(m == 0, "max needs at least one candidate");
@@ -91,6 +92,7 @@ BitVector
 CoruscantUnit::relu(const BitVector &row, std::size_t block_size,
                     std::size_t active_wires)
 {
+    OpSpan span(*this, "relu");
     std::size_t act = resolveActive(active_wires);
     fatalIf(block_size == 0, "block size must be positive");
     fatalIf(act % block_size != 0,
@@ -118,6 +120,7 @@ BitVector
 CoruscantUnit::nmrVote(const std::vector<BitVector> &replicas,
                        std::size_t active_wires)
 {
+    OpSpan span(*this, "nmr_vote");
     std::size_t act = resolveActive(active_wires);
     std::size_t n = replicas.size();
     fatalIf(n != 3 && n != 5 && n != 7,

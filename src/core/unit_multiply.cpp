@@ -33,9 +33,14 @@ void
 CoruscantUnit::chargeCopy(std::size_t active_wires)
 {
     // Fused shifted read/write through the inter-wire brown path.
-    costs.charge("copy", dev.readCycles,
-                 static_cast<double>(active_wires)
-                     * (dev.readEnergyPj + dev.writeEnergyPj));
+    double pj = static_cast<double>(active_wires)
+                * (dev.readEnergyPj + dev.writeEnergyPj);
+    costs.charge("copy", dev.readCycles, pj);
+    if (metrics) {
+        metrics->add(obs::Counter::Reads);
+        metrics->add(obs::Counter::Writes);
+        metrics->addEnergy(pj);
+    }
 }
 
 namespace {
@@ -54,6 +59,7 @@ CoruscantUnit::multiply(const BitVector &a_row, const BitVector &b_row,
                         std::size_t operand_bits, MulStrategy strategy,
                         std::size_t active_wires)
 {
+    OpSpan span(*this, "multiply");
     std::size_t act = resolveActive(active_wires);
     fatalIf(operand_bits == 0 || operand_bits > 32,
             "operand bits must be in [1, 32]");
@@ -104,6 +110,7 @@ CoruscantUnit::multiplyByConstant(const BitVector &a_row,
                                   std::size_t operand_bits,
                                   std::size_t active_wires)
 {
+    OpSpan span(*this, "multiply_by_constant");
     std::size_t act = resolveActive(active_wires);
     fatalIf(operand_bits == 0 || operand_bits > 32,
             "operand bits must be in [1, 32]");

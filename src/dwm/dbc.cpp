@@ -17,6 +17,7 @@ void
 DomainBlockCluster::shiftLeft()
 {
     panicIf(!canShiftLeft(), "shift would push data off the left end");
+    note(obs::Counter::Shifts);
     ++offset;
     perturbShift(true);
 }
@@ -25,6 +26,7 @@ void
 DomainBlockCluster::shiftRight()
 {
     panicIf(!canShiftRight(), "shift would push data off the right end");
+    note(obs::Counter::Shifts);
     --offset;
     perturbShift(false);
 }
@@ -120,6 +122,7 @@ DomainBlockCluster::alignWindowStart(std::size_t row)
 BitVector
 DomainBlockCluster::readRowAtPort(Port port) const
 {
+    note(obs::Counter::Reads);
     return physRows[portPhysical(port)];
 }
 
@@ -128,18 +131,21 @@ DomainBlockCluster::writeRowAtPort(Port port, const BitVector &row)
 {
     fatalIf(row.size() != dev.wiresPerDbc,
             "row width ", row.size(), " != DBC width ", dev.wiresPerDbc);
+    note(obs::Counter::Writes);
     physRows[portPhysical(port)] = row;
 }
 
 bool
 DomainBlockCluster::readBitAtPort(std::size_t wire, Port port) const
 {
+    note(obs::Counter::Reads);
     return physRows[portPhysical(port)].get(wire);
 }
 
 void
 DomainBlockCluster::writeBitAtPort(std::size_t wire, Port port, bool value)
 {
+    note(obs::Counter::Writes);
     physRows[portPhysical(port)].set(wire, value);
 }
 
@@ -147,6 +153,7 @@ std::size_t
 DomainBlockCluster::transverseReadWire(std::size_t wire,
                                        TrFaultModel *faults) const
 {
+    note(obs::Counter::TrPulses);
     std::size_t lo = portPhysical(Port::Left);
     std::size_t hi = portPhysical(Port::Right);
     std::size_t count = 0;
@@ -160,6 +167,7 @@ DomainBlockCluster::transverseReadWire(std::size_t wire,
 std::vector<std::uint8_t>
 DomainBlockCluster::transverseReadAll(TrFaultModel *faults) const
 {
+    note(obs::Counter::TrPulses);
     std::size_t lo = portPhysical(Port::Left);
     std::size_t hi = portPhysical(Port::Right);
     std::vector<std::uint8_t> counts(dev.wiresPerDbc, 0);
@@ -178,6 +186,7 @@ DomainBlockCluster::transverseReadAll(TrFaultModel *faults) const
 std::vector<std::uint16_t>
 DomainBlockCluster::transverseReadOutsideAll(Port side) const
 {
+    note(obs::Counter::TrPulses);
     std::vector<std::uint16_t> counts(dev.wiresPerDbc, 0);
     std::size_t lo, hi; // physical range [lo, hi)
     if (side == Port::Left) {
@@ -199,6 +208,7 @@ std::size_t
 DomainBlockCluster::transverseReadOutsideWire(std::size_t wire,
                                               Port side) const
 {
+    note(obs::Counter::TrPulses);
     std::size_t lo, hi; // physical range [lo, hi)
     if (side == Port::Left) {
         lo = 0;
@@ -218,6 +228,7 @@ DomainBlockCluster::transverseWriteRow(const BitVector &row)
 {
     fatalIf(row.size() != dev.wiresPerDbc,
             "row width ", row.size(), " != DBC width ", dev.wiresPerDbc);
+    note(obs::Counter::TwPulses);
     std::size_t lo = portPhysical(Port::Left);
     std::size_t hi = portPhysical(Port::Right);
     for (std::size_t i = hi; i > lo; --i)
@@ -228,6 +239,7 @@ DomainBlockCluster::transverseWriteRow(const BitVector &row)
 void
 DomainBlockCluster::transverseWriteWire(std::size_t wire, bool value)
 {
+    note(obs::Counter::TwPulses);
     std::size_t lo = portPhysical(Port::Left);
     std::size_t hi = portPhysical(Port::Right);
     for (std::size_t i = hi; i > lo; --i)

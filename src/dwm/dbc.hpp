@@ -25,6 +25,7 @@
 #include "dwm/fault_model.hpp"
 #include "dwm/nanowire.hpp"
 #include "dwm/shift_fault.hpp"
+#include "obs/metrics.hpp"
 #include "util/bit_vector.hpp"
 
 namespace coruscant {
@@ -51,6 +52,15 @@ class DomainBlockCluster
     void attachShiftFaults(ShiftFaultModel *model) { shiftFaults = model; }
 
     ShiftFaultModel *shiftFaultModel() const { return shiftFaults; }
+
+    /**
+     * Attach an observability counter set: every device primitive
+     * (shift pulse, TR pulse, TW pulse, port read/write) increments it.
+     * A cluster-wide operation counts as one pulse — all wires act
+     * under the shared controller signal.  Non-owning; nullptr
+     * detaches, and a detached cluster pays one branch per primitive.
+     */
+    void attachMetrics(obs::ComponentMetrics *m) { metrics = m; }
 
     // --- Shifting (all wires together) -----------------------------------
 
@@ -153,10 +163,19 @@ class DomainBlockCluster
 
     void perturbShift(bool toward_left);
 
+    /** Count one device primitive if a counter set is attached. */
+    void
+    note(obs::Counter c) const
+    {
+        if (metrics)
+            metrics->add(c);
+    }
+
     DeviceParams dev;
     std::vector<BitVector> physRows; ///< indexed by physical position
     int offset = 0;                  ///< net left shifts applied
     ShiftFaultModel *shiftFaults = nullptr; ///< non-owning, optional
+    obs::ComponentMetrics *metrics = nullptr; ///< non-owning, optional
 };
 
 } // namespace coruscant

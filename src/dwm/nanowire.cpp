@@ -16,6 +16,7 @@ void
 Nanowire::shiftLeft()
 {
     panicIf(!canShiftLeft(), "shift would push data off the left end");
+    note(obs::Counter::Shifts);
     ++offset;
     perturbShift(true);
 }
@@ -24,6 +25,7 @@ void
 Nanowire::shiftRight()
 {
     panicIf(!canShiftRight(), "shift would push data off the right end");
+    note(obs::Counter::Shifts);
     --offset;
     perturbShift(false);
 }
@@ -133,18 +135,21 @@ Nanowire::alignWindowStart(std::size_t row)
 bool
 Nanowire::readAtPort(Port port) const
 {
+    note(obs::Counter::Reads);
     return domains[portPhysical(port)] != 0;
 }
 
 void
 Nanowire::writeAtPort(Port port, bool value)
 {
+    note(obs::Counter::Writes);
     domains[portPhysical(port)] = value ? 1 : 0;
 }
 
 std::size_t
 Nanowire::transverseRead(TrFaultModel *faults) const
 {
+    note(obs::Counter::TrPulses);
     std::size_t lo = portPhysical(Port::Left);
     std::size_t hi = portPhysical(Port::Right);
     std::size_t count = 0;
@@ -158,6 +163,7 @@ Nanowire::transverseRead(TrFaultModel *faults) const
 void
 Nanowire::transverseWrite(bool value)
 {
+    note(obs::Counter::TwPulses);
     std::size_t lo = portPhysical(Port::Left);
     std::size_t hi = portPhysical(Port::Right);
     // The domain under the right port is pushed to ground; everything
@@ -170,6 +176,7 @@ Nanowire::transverseWrite(bool value)
 std::size_t
 Nanowire::transverseReadOutside(Port side, TrFaultModel *faults) const
 {
+    note(obs::Counter::TrPulses);
     std::size_t count = 0;
     if (side == Port::Left) {
         std::size_t hi = portPhysical(Port::Left);

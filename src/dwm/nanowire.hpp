@@ -22,6 +22,7 @@
 #include "dwm/device_params.hpp"
 #include "dwm/fault_model.hpp"
 #include "dwm/shift_fault.hpp"
+#include "obs/metrics.hpp"
 
 namespace coruscant {
 
@@ -42,6 +43,13 @@ class Nanowire
      * may silently over- or under-shift (non-owning; nullptr detaches).
      */
     void attachShiftFaults(ShiftFaultModel *model) { shiftFaults = model; }
+
+    /**
+     * Attach an observability counter set: every device primitive
+     * (shift pulse, TR pulse, TW pulse, port read/write) increments
+     * it.  Non-owning; nullptr detaches.
+     */
+    void attachMetrics(obs::ComponentMetrics *m) { metrics = m; }
 
     // --- Shifting ------------------------------------------------------
 
@@ -155,10 +163,19 @@ class Nanowire
     std::size_t portPhysical(Port port) const;
     void perturbShift(bool toward_left);
 
+    /** Count one device primitive if a counter set is attached. */
+    void
+    note(obs::Counter c) const
+    {
+        if (metrics)
+            metrics->add(c);
+    }
+
     DeviceParams dev;
     std::vector<std::uint8_t> domains; ///< physical positions, 0 = left
     int offset = 0;                    ///< net left shifts applied
     ShiftFaultModel *shiftFaults = nullptr; ///< non-owning, optional
+    obs::ComponentMetrics *metrics = nullptr; ///< non-owning, optional
 };
 
 } // namespace coruscant

@@ -1,0 +1,165 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace coruscant::obs {
+
+const char *
+counterName(Counter c)
+{
+    switch (c) {
+    case Counter::Shifts:
+        return "shifts";
+    case Counter::TrPulses:
+        return "tr_pulses";
+    case Counter::TwPulses:
+        return "tw_pulses";
+    case Counter::Reads:
+        return "reads";
+    case Counter::Writes:
+        return "writes";
+    case Counter::MisalignCorrections:
+        return "misalign_corrections";
+    case Counter::Retries:
+        return "retries";
+    case Counter::Requests:
+        return "requests";
+    case Counter::Gangs:
+        return "gangs";
+    }
+    return "?";
+}
+
+ComponentMetrics
+ComponentMetrics::delta(const ComponentMetrics &earlier) const
+{
+    ComponentMetrics d;
+    for (std::size_t i = 0; i < kCounterKinds; ++i) {
+        auto c = static_cast<Counter>(i);
+        std::uint64_t now = get(c), then = earlier.get(c);
+        panicIf(now < then, "counter ", counterName(c),
+                " went backwards across a snapshot");
+        d.add(c, now - then);
+    }
+    d.addEnergy(energyPj_ - earlier.energyPj_);
+    return d;
+}
+
+ComponentMetrics &
+MetricsRegistry::component(const std::string &path)
+{
+    return components_[path];
+}
+
+const ComponentMetrics *
+MetricsRegistry::find(const std::string &path) const
+{
+    auto it = components_.find(path);
+    return it == components_.end() ? nullptr : &it->second;
+}
+
+void
+MetricsRegistry::merge(const MetricsRegistry &o)
+{
+    for (const auto &[path, m] : o.components_)
+        components_[path].merge(m);
+}
+
+void
+MetricsRegistry::mergePrefixed(const MetricsRegistry &o,
+                               const std::string &prefix)
+{
+    for (const auto &[path, m] : o.components_)
+        components_[prefix + "/" + path].merge(m);
+}
+
+MetricsRegistry
+MetricsRegistry::delta(const MetricsRegistry &earlier) const
+{
+    MetricsRegistry d;
+    static const ComponentMetrics kZero;
+    for (const auto &[path, m] : components_) {
+        const ComponentMetrics *base = earlier.find(path);
+        ComponentMetrics diff = m.delta(base ? *base : kZero);
+        if (!diff.empty())
+            d.components_[path] = diff;
+    }
+    return d;
+}
+
+std::uint64_t
+MetricsRegistry::total(Counter c) const
+{
+    std::uint64_t sum = 0;
+    for (const auto &[path, m] : components_)
+        sum += m.get(c);
+    return sum;
+}
+
+double
+MetricsRegistry::totalEnergyPj() const
+{
+    // Path-ordered summation: deterministic regardless of how the
+    // registry was assembled.
+    double sum = 0.0;
+    for (const auto &[path, m] : components_)
+        sum += m.energyPj();
+    return sum;
+}
+
+namespace {
+
+void
+emitComponent(std::ostringstream &os, const ComponentMetrics &m)
+{
+    os << "{";
+    bool first = true;
+    for (std::size_t i = 0; i < kCounterKinds; ++i) {
+        auto c = static_cast<Counter>(i);
+        if (m.get(c) == 0)
+            continue;
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "\"" << counterName(c) << "\": " << m.get(c);
+    }
+    if (m.energyPj() != 0.0) {
+        if (!first)
+            os << ", ";
+        first = false;
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "%.17g", m.energyPj());
+        os << "\"energy_pj\": " << buf;
+    }
+    if (first)
+        os << "\"empty\": true";
+    os << "}";
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n  \"components\": {";
+    bool first = true;
+    for (const auto &[path, m] : components_) {
+        os << (first ? "\n" : ",\n") << "    \"" << path << "\": ";
+        first = false;
+        emitComponent(os, m);
+    }
+    os << (first ? "},\n" : "\n  },\n");
+    ComponentMetrics totals;
+    for (const auto &[path, m] : components_)
+        totals.merge(m);
+    os << "  \"totals\": ";
+    emitComponent(os, totals);
+    os << "\n}\n";
+    return os.str();
+}
+
+} // namespace coruscant::obs

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * MetricsRegistry: hierarchical, mergeable activity counters.
+ *
+ * Every CORUSCANT result the repo reproduces bottoms out in
+ * per-primitive activity — shift pulses, transverse reads/writes, port
+ * accesses, guard corrections — and the energy they cost.  The
+ * CostLedger aggregates cycles/energy per *category*; this registry
+ * complements it with per-*component* counts keyed by a slash-separated
+ * path ("channel0/dispatch", "memory/dbc", "guard"), so a wrong end
+ * total can be localized to the component that produced it.
+ *
+ * Design constraints, in order:
+ *  - near-zero hot-path cost: instrumented objects hold a raw
+ *    ComponentMetrics pointer (null when observability is off) and an
+ *    increment is one array add — component lookup happens once, at
+ *    wiring time, never per event;
+ *  - deterministic merging: components live in an ordered map and
+ *    registries merge component-by-component, so per-channel
+ *    registries merged in channel order give bit-identical aggregates
+ *    (including the floating-point energy sums) regardless of how many
+ *    worker threads produced them;
+ *  - machine-readable export: toJson() emits a stable, sorted document
+ *    for the BENCH_*.json trajectory and the CLI --metrics-json flag.
+ */
+
+#ifndef CORUSCANT_OBS_METRICS_HPP
+#define CORUSCANT_OBS_METRICS_HPP
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace coruscant::obs {
+
+/** Fixed counter kinds (array-indexed on the hot path). */
+enum class Counter : std::uint8_t
+{
+    Shifts = 0,           ///< single-domain shift pulses
+    TrPulses,             ///< transverse-read pulses
+    TwPulses,             ///< transverse-write pulses
+    Reads,                ///< port / line reads
+    Writes,               ///< port / line writes
+    MisalignCorrections,  ///< guard-corrected misalignments
+    Retries,              ///< guarded-execution re-runs / backoffs
+    Requests,             ///< service requests completed
+    Gangs,                ///< TR gangs dispatched
+};
+
+inline constexpr std::size_t kCounterKinds = 9;
+
+/** Stable JSON key for @p c. */
+const char *counterName(Counter c);
+
+/**
+ * Primitive-activity summary of one measured operation (a value type
+ * carried alongside OpCost / RequestCost so the service layer can
+ * attribute device activity without re-running the functional sim).
+ */
+struct PrimCounts
+{
+    std::uint64_t shifts = 0;
+    std::uint64_t trPulses = 0;
+    std::uint64_t twPulses = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+
+    PrimCounts
+    scaled(std::uint64_t n) const
+    {
+        return {shifts * n, trPulses * n, twPulses * n, reads * n,
+                writes * n};
+    }
+
+    bool
+    operator==(const PrimCounts &o) const
+    {
+        return shifts == o.shifts && trPulses == o.trPulses &&
+               twPulses == o.twPulses && reads == o.reads &&
+               writes == o.writes;
+    }
+};
+
+/** One component's counters plus its energy accumulator. */
+class ComponentMetrics
+{
+  public:
+    /** Add @p n to counter @p c (the hot-path operation). */
+    void
+    add(Counter c, std::uint64_t n = 1)
+    {
+        counts_[static_cast<std::size_t>(c)] += n;
+    }
+
+    /** Charge @p pj picojoules to this component. */
+    void addEnergy(double pj) { energyPj_ += pj; }
+
+    /** Add a whole primitive-count summary at once. */
+    void
+    addPrims(const PrimCounts &p)
+    {
+        add(Counter::Shifts, p.shifts);
+        add(Counter::TrPulses, p.trPulses);
+        add(Counter::TwPulses, p.twPulses);
+        add(Counter::Reads, p.reads);
+        add(Counter::Writes, p.writes);
+    }
+
+    std::uint64_t
+    get(Counter c) const
+    {
+        return counts_[static_cast<std::size_t>(c)];
+    }
+
+    double energyPj() const { return energyPj_; }
+
+    /** Snapshot of the device-primitive counters. */
+    PrimCounts
+    prims() const
+    {
+        return {get(Counter::Shifts), get(Counter::TrPulses),
+                get(Counter::TwPulses), get(Counter::Reads),
+                get(Counter::Writes)};
+    }
+
+    void
+    merge(const ComponentMetrics &o)
+    {
+        for (std::size_t i = 0; i < kCounterKinds; ++i)
+            counts_[i] += o.counts_[i];
+        energyPj_ += o.energyPj_;
+    }
+
+    /** This minus @p earlier (counters are monotone within a run). */
+    ComponentMetrics delta(const ComponentMetrics &earlier) const;
+
+    bool
+    empty() const
+    {
+        if (energyPj_ != 0.0)
+            return false;
+        for (std::uint64_t v : counts_)
+            if (v)
+                return false;
+        return true;
+    }
+
+    bool
+    operator==(const ComponentMetrics &o) const
+    {
+        return counts_ == o.counts_ && energyPj_ == o.energyPj_;
+    }
+
+  private:
+    std::array<std::uint64_t, kCounterKinds> counts_{};
+    double energyPj_ = 0.0;
+};
+
+/** Ordered collection of components keyed by slash-separated path. */
+class MetricsRegistry
+{
+  public:
+    /**
+     * Find-or-create the component at @p path.  The returned reference
+     * is stable for the registry's lifetime (std::map nodes do not
+     * move), so instrumented objects cache it once at wiring time.
+     */
+    ComponentMetrics &component(const std::string &path);
+
+    /** Component at @p path, or nullptr when absent. */
+    const ComponentMetrics *find(const std::string &path) const;
+
+    const std::map<std::string, ComponentMetrics> &
+    components() const
+    {
+        return components_;
+    }
+
+    /** Merge @p o component-by-component (path union, counts added). */
+    void merge(const MetricsRegistry &o);
+
+    /** Merge @p o with every path prefixed by "@p prefix/". */
+    void mergePrefixed(const MetricsRegistry &o,
+                       const std::string &prefix);
+
+    /** Copy of the current state (for later delta()). */
+    MetricsRegistry snapshot() const { return *this; }
+
+    /**
+     * Per-component difference against an earlier snapshot; components
+     * unchanged since the snapshot are omitted.
+     */
+    MetricsRegistry delta(const MetricsRegistry &earlier) const;
+
+    /** Sum of counter @p c over all components. */
+    std::uint64_t total(Counter c) const;
+
+    /** Sum of energy over all components. */
+    double totalEnergyPj() const;
+
+    bool empty() const { return components_.empty(); }
+
+    /**
+     * Stable JSON document:
+     * { "components": { "<path>": { "<counter>": n, ...,
+     *   "energy_pj": x }, ... }, "totals": { ... } }.
+     * Zero-valued counters are omitted; paths sort lexicographically;
+     * doubles print with full round-trip precision, so two registries
+     * compare equal iff their JSON strings compare equal.
+     */
+    std::string toJson() const;
+
+  private:
+    std::map<std::string, ComponentMetrics> components_;
+};
+
+} // namespace coruscant::obs
+
+#endif // CORUSCANT_OBS_METRICS_HPP

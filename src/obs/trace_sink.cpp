@@ -1,0 +1,99 @@
+#include "obs/trace_sink.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace coruscant::obs {
+
+void
+TraceSink::append(const TraceSink &o)
+{
+    if (o.enabled_)
+        enabled_ = true;
+    events_.insert(events_.end(), o.events_.begin(), o.events_.end());
+}
+
+namespace {
+
+/** Minimal JSON string escape (names are simple, but be safe). */
+void
+writeEscaped(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            os << "\\\"";
+            break;
+        case '\\':
+            os << "\\\\";
+            break;
+        case '\n':
+            os << "\\n";
+            break;
+        case '\t':
+            os << "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+void
+TraceSink::writeJson(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    bool first = true;
+    char buf[48];
+    for (const TraceEvent &e : events_) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        if (e.phase == 'M') {
+            // Metadata: name the process row.
+            os << "{\"ph\": \"M\", \"name\": \"process_name\", "
+                  "\"pid\": "
+               << e.pid << ", \"tid\": 0, \"args\": {\"name\": ";
+            writeEscaped(os, e.name);
+            os << "}}";
+            continue;
+        }
+        os << "{\"ph\": \"" << e.phase << "\", \"name\": ";
+        writeEscaped(os, e.name);
+        os << ", \"cat\": ";
+        writeEscaped(os, e.cat);
+        os << ", \"ts\": " << e.ts;
+        if (e.phase == 'X')
+            os << ", \"dur\": " << e.dur;
+        if (e.phase == 'i')
+            os << ", \"s\": \"t\"";
+        os << ", \"pid\": " << e.pid << ", \"tid\": " << e.tid;
+        if (e.argKey) {
+            std::snprintf(buf, sizeof buf, "%.17g", e.argValue);
+            os << ", \"args\": {\"" << e.argKey << "\": " << buf
+               << "}";
+        }
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+std::string
+TraceSink::toJson() const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return os.str();
+}
+
+} // namespace coruscant::obs

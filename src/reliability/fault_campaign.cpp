@@ -148,6 +148,13 @@ FaultCampaign::controllerCampaign(const ControllerCampaignConfig &ccfg)
 
     DwmMainMemory mem(mcfg);
     MemoryController ctrl(mem);
+    if (ccfg.metrics != nullptr) {
+        mem.attachObs(*ccfg.metrics, ccfg.trace);
+        ctrl.attachObs(&ccfg.metrics->component("controller"),
+                       ccfg.trace);
+    } else if (ccfg.trace != nullptr) {
+        ctrl.attachObs(nullptr, ccfg.trace);
+    }
     Rng rng(ccfg.seed * 6364136223846793005ULL + 1442695040888963407ULL);
 
     const std::size_t wires = mcfg.device.wiresPerDbc;

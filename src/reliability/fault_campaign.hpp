@@ -16,6 +16,8 @@
 
 #include "arch/config.hpp"
 #include "core/pim_logic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 
 namespace coruscant {
 
@@ -51,6 +53,15 @@ struct ControllerCampaignConfig
     std::size_t blockSize = 8;      ///< packed-lane width
     std::size_t maxRetries = 2;
     std::uint64_t retireThreshold = 0; ///< 0 disables DBC retirement
+
+    /**
+     * Optional observability (non-owning): when set, the campaign's
+     * internal memory and controller attach to these, so the caller
+     * sees per-component primitive counters ("memory", "memory/dbc",
+     * "guard", "controller") and per-cpim spans for the whole run.
+     */
+    obs::MetricsRegistry *metrics = nullptr;
+    obs::TraceSink *trace = nullptr;
 };
 
 /**

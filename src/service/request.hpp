@@ -34,6 +34,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace coruscant {
 
 /** Request taxonomy of the service layer. */
@@ -65,7 +67,14 @@ struct ServiceRequest
                                 ///< operands, or MAC lanes)
 };
 
-/** Issue/occupancy cost of one dispatched unit of work. */
+/**
+ * Issue/occupancy cost of one dispatched unit of work.
+ *
+ * Deliberately small: one of these is built per dispatched request on
+ * the engine's hot path. The device primitives behind a cost are kept
+ * in parallel tables and fetched via ServiceCostTable::prims() /
+ * gangPrims() only when metrics collection is enabled.
+ */
 struct RequestCost
 {
     std::uint32_t issueCmds = 1;      ///< command-bus slots
@@ -106,6 +115,15 @@ class ServiceCostTable
     /** Cost of an m-operand add (2 <= m <= maxAddOperands()). */
     RequestCost addCost(std::size_t operands) const;
 
+    /**
+     * Device primitives behind cost(@p req). Kept off the RequestCost
+     * hot path; call only when metrics collection is enabled.
+     */
+    obs::PrimCounts prims(const ServiceRequest &req) const;
+
+    /** Device primitives behind gangCost(@p members). */
+    obs::PrimCounts gangPrims(std::size_t members) const;
+
   private:
     std::size_t trd_ = 0;
     RequestCost readLine_;
@@ -114,6 +132,13 @@ class ServiceCostTable
     std::vector<RequestCost> addByOperands_; ///< [m-1] = m-operand add
     RequestCost reduce_;
     RequestCost macLane_;
+    // Device primitives per table entry, parallel to the costs above.
+    obs::PrimCounts readPrims_;
+    obs::PrimCounts writePrims_;
+    std::vector<obs::PrimCounts> gangPrims_;
+    std::vector<obs::PrimCounts> addPrims_;
+    obs::PrimCounts reducePrims_;
+    obs::PrimCounts macPrims_;
 };
 
 } // namespace coruscant

@@ -113,12 +113,24 @@ class ChannelSim
   public:
     ChannelSim(const ServiceConfig &cfg, const ServiceCostTable &costs,
                std::uint32_t channel)
-        : cfg_(cfg), costs_(costs),
+        : cfg_(cfg), costs_(costs), channel_(channel),
           gen_(workloadConfigOf(cfg, costs.maxAddOperands()), cfg.seed,
                channel),
           batcher_(costs.maxGangOperands(), cfg.batchWindowCycles),
           bankFree_(cfg.banksPerChannel, 0)
-    {}
+    {
+        if (cfg.collectMetrics) {
+            std::string base = "channel" + std::to_string(channel);
+            chMetrics_ = &stats_.metrics.component(base);
+            batchMetrics_ =
+                &stats_.metrics.component(base + "/batcher");
+        }
+        if (cfg.collectTrace) {
+            stats_.trace.enable();
+            stats_.trace.processName(
+                channel, "channel " + std::to_string(channel));
+        }
+    }
 
     ServiceStats
     run()
@@ -204,6 +216,23 @@ class ChannelSim
         stats_.dispatchedUnits += 1;
         stats_.energyPj += cost.energyPj;
         makespan_ = std::max(makespan_, completion);
+        if (chMetrics_) {
+            chMetrics_->add(obs::Counter::Requests, members.size());
+            chMetrics_->addPrims(members.size() > 1
+                                     ? costs_.gangPrims(members.size())
+                                     : costs_.prims(members.front()));
+            chMetrics_->addEnergy(cost.energyPj);
+        }
+        if (stats_.trace.on()) {
+            const char *name =
+                members.size() > 1
+                    ? "gang"
+                    : requestClassName(members.front().cls);
+            stats_.trace.span(name, "dispatch", start,
+                              cost.issueCmds + cost.serviceCycles,
+                              channel_, bank, "members",
+                              static_cast<double>(members.size()));
+        }
         for (const ServiceRequest &m : members) {
             auto c = static_cast<std::size_t>(m.cls);
             std::uint64_t lat = completion - m.arrival;
@@ -221,6 +250,8 @@ class ChannelSim
     void
     dispatchGang(const TrGang &g)
     {
+        if (batchMetrics_)
+            batchMetrics_->add(obs::Counter::Gangs);
         dispatch(g.readyAt, g.bank, costs_.gangCost(g.members.size()),
                  g.members);
     }
@@ -301,6 +332,9 @@ class ChannelSim
 
     const ServiceConfig &cfg_;
     const ServiceCostTable &costs_;
+    std::uint32_t channel_ = 0;
+    obs::ComponentMetrics *chMetrics_ = nullptr;    ///< into stats_
+    obs::ComponentMetrics *batchMetrics_ = nullptr; ///< into stats_
     WorkloadGenerator gen_;
     GangBatcher batcher_;
     bool closedLoop_ = false;
@@ -390,6 +424,8 @@ ServiceEngine::run() const
         out.energyPj += c.energyPj;
         out.batch.merge(c.batch);
         out.latency.merge(c.latency);
+        out.metrics.merge(c.metrics);
+        out.trace.append(c.trace);
         for (std::size_t k = 0; k < kRequestClasses; ++k)
             out.perClass[k].merge(c.perClass[k]);
         issued_cycles +=

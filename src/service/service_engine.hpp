@@ -38,6 +38,8 @@
 #include <string>
 
 #include "controller/event_sim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "service/batcher.hpp"
 #include "service/request.hpp"
 #include "service/workload.hpp"
@@ -69,6 +71,9 @@ struct ServiceConfig
     std::size_t queueCapacity = 64;  ///< per class per channel; 0 = inf
     std::uint32_t closedLoopWindow = 8; ///< clients per channel
     std::uint64_t retryBackoffCycles = 256; ///< closed-loop reject wait
+
+    bool collectMetrics = false; ///< fill ServiceStats::metrics
+    bool collectTrace = false;   ///< fill ServiceStats::trace
 };
 
 /** Per-class service counters plus the class latency distribution. */
@@ -100,6 +105,22 @@ struct ServiceStats
     BatchStats batch;
     LatencyHistogram latency;     ///< all classes
     std::array<ClassStats, kRequestClasses> perClass{};
+
+    /**
+     * Per-channel activity counters ("channel<N>", "channel<N>/batcher"
+     * components), populated when ServiceConfig::collectMetrics is set.
+     * Channels own disjoint component paths and are merged in channel
+     * order, so the registry (energy sums included) is bit-identical
+     * across worker-thread counts for a fixed seed.
+     */
+    obs::MetricsRegistry metrics;
+
+    /**
+     * Dispatch spans (pid = channel, tid = bank), populated when
+     * ServiceConfig::collectTrace is set; concatenated in channel
+     * order.
+     */
+    obs::TraceSink trace;
 
     /** Completed requests per 1000 cycles (all channels combined). */
     double throughputPerKcycle() const;

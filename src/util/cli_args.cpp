@@ -1,0 +1,132 @@
+#include "util/cli_args.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace coruscant {
+
+namespace {
+
+/** Whole-string unsigned parse: no sign, no trailing junk. */
+bool
+parseSizeStrict(const std::string &s, std::size_t &out)
+{
+    if (s.empty() || s[0] == '-' || s[0] == '+')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    out = static_cast<std::size_t>(v);
+    return true;
+}
+
+/** Whole-string floating-point parse (scientific notation allowed). */
+bool
+parseDoubleStrict(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    out = v;
+    return true;
+}
+
+const char *
+typeName(ArgType t)
+{
+    switch (t) {
+      case ArgType::Size:
+        return "unsigned integer";
+      case ArgType::Double:
+        return "number";
+      case ArgType::String:
+        return "string";
+    }
+    return "value";
+}
+
+} // namespace
+
+std::size_t
+ParsedArgs::getSize(const std::string &name, std::size_t dflt) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return dflt;
+    std::size_t v = 0;
+    parseSizeStrict(it->second, v); // validated at parse time
+    return v;
+}
+
+double
+ParsedArgs::getDouble(const std::string &name, double dflt) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return dflt;
+    double v = 0.0;
+    parseDoubleStrict(it->second, v); // validated at parse time
+    return v;
+}
+
+std::string
+ParsedArgs::getString(const std::string &name,
+                      const std::string &dflt) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? dflt : it->second;
+}
+
+ParsedArgs
+parseArgs(const std::vector<std::string> &args,
+          const std::vector<ArgSpec> &specs)
+{
+    ParsedArgs parsed;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &tok = args[i];
+        if (tok.rfind("--", 0) != 0) {
+            parsed.error_ = "unexpected argument '" + tok + "'";
+            return parsed;
+        }
+        std::string name = tok.substr(2);
+        const ArgSpec *spec = nullptr;
+        for (const ArgSpec &s : specs)
+            if (name == s.name) {
+                spec = &s;
+                break;
+            }
+        if (spec == nullptr) {
+            parsed.error_ = "unknown option '" + tok + "'";
+            return parsed;
+        }
+        if (i + 1 >= args.size()) {
+            parsed.error_ = "option '" + tok + "' requires a value";
+            return parsed;
+        }
+        const std::string &value = args[++i];
+        bool valid = true;
+        if (spec->type == ArgType::Size) {
+            std::size_t v = 0;
+            valid = parseSizeStrict(value, v);
+        } else if (spec->type == ArgType::Double) {
+            double v = 0.0;
+            valid = parseDoubleStrict(value, v);
+        }
+        if (!valid) {
+            parsed.error_ = "invalid value '" + value +
+                            "' for option '" + tok + "' (expected " +
+                            typeName(spec->type) + ")";
+            return parsed;
+        }
+        parsed.values_[name] = value;
+    }
+    return parsed;
+}
+
+} // namespace coruscant

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Strict `--key value` command-line parsing.
+ *
+ * Each subcommand declares the options it accepts as a table of
+ * ArgSpec entries; parseArgs() then rejects anything outside that
+ * contract instead of silently falling back to defaults:
+ *
+ *   - an option not in the table      -> "unknown option '--x'"
+ *   - a flag with no value following  -> "option '--x' requires a value"
+ *   - a value the type cannot parse   -> "invalid value 'y' for ..."
+ *   - a bare token without "--"       -> "unexpected argument 'y'"
+ *
+ * Values are validated eagerly at parse time (full-string numeric
+ * consumption, no sign on unsigned sizes), so the typed getters on a
+ * successful ParsedArgs cannot fail.  Repeated options keep the last
+ * occurrence, matching common CLI convention.
+ */
+
+#ifndef CORUSCANT_UTIL_CLI_ARGS_HPP
+#define CORUSCANT_UTIL_CLI_ARGS_HPP
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace coruscant {
+
+/** How an option's value string is validated and read back. */
+enum class ArgType
+{
+    Size,   ///< unsigned integer (std::size_t)
+    Double, ///< floating point, scientific notation accepted
+    String, ///< free-form text
+};
+
+/** One accepted option of a subcommand. */
+struct ArgSpec
+{
+    const char *name; ///< option name without the leading "--"
+    ArgType type;
+};
+
+/** Outcome of a strict parse: either valid options or a diagnostic. */
+class ParsedArgs
+{
+  public:
+    /** True when every argument matched the spec table. */
+    bool ok() const { return error_.empty(); }
+
+    /** Diagnostic for the first offending argument (empty when ok). */
+    const std::string &error() const { return error_; }
+
+    /** True when the option appeared on the command line. */
+    bool has(const std::string &name) const
+    {
+        return values_.count(name) != 0;
+    }
+
+    /** Value of a Size option, or @p dflt when absent. */
+    std::size_t getSize(const std::string &name, std::size_t dflt) const;
+
+    /** Value of a Double option, or @p dflt when absent. */
+    double getDouble(const std::string &name, double dflt) const;
+
+    /** Value of a String option, or @p dflt when absent. */
+    std::string getString(const std::string &name,
+                          const std::string &dflt) const;
+
+  private:
+    friend ParsedArgs parseArgs(const std::vector<std::string> &args,
+                                const std::vector<ArgSpec> &specs);
+
+    std::map<std::string, std::string> values_;
+    std::string error_;
+};
+
+/**
+ * Parse @p args (the tokens after the subcommand name) against
+ * @p specs.  Never exits; callers inspect ok()/error() and decide the
+ * exit code, which keeps the parser unit-testable in-process.
+ */
+ParsedArgs parseArgs(const std::vector<std::string> &args,
+                     const std::vector<ArgSpec> &specs);
+
+} // namespace coruscant
+
+#endif // CORUSCANT_UTIL_CLI_ARGS_HPP

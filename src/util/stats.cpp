@@ -33,7 +33,13 @@ LatencyHistogram::percentile(double q) const
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
         seen += buckets_[i];
         if (seen >= target)
-            return std::min(bucketUpperEdge(i), max_);
+            // The covering bucket only bounds the order statistic to
+            // [lower, upper]; its upper edge can exceed every recorded
+            // observation (a single sample of 64 lands in [64, 65]).
+            // No observation lies outside [min_, max_], so clamping
+            // tightens the estimate without ever undershooting a
+            // value that was actually observed alone in its bucket.
+            return std::clamp(bucketUpperEdge(i), min_, max_);
     }
     return max_;
 }

@@ -87,7 +87,17 @@ class LatencyHistogram
     /**
      * Value @p q of the way through the distribution (q in [0,1]).
      * Returns the upper edge of the covering bucket, clamped to the
-     * exact observed maximum; 0 when empty.
+     * exact observed [min, max]; 0 when empty.
+     *
+     * Error bound: values below 2^kLinearBits are exact.  Above that,
+     * the true order statistic lies in the covering bucket, whose
+     * width is 1/2^kSubBits of its octave, so the reported value
+     * over-estimates by at most one sub-bucket — a relative error
+     * <= 1/2^kSubBits (1/32 ~ 3.1%) — and never under-estimates.
+     * Without the [min, max] clamp the bucket upper edge could exceed
+     * every recorded observation (a single sample of 64 would report
+     * 65); the clamp restores exactness whenever the covering bucket's
+     * occupants are the distribution's extremes.
      */
     std::uint64_t percentile(double q) const;
 

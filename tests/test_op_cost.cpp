@@ -79,5 +79,90 @@ TEST(OpCost, EnergyMonotoneInTrd)
               CoruscantCostModel(7).add(2, 8).energyPj);
 }
 
+TEST(OpCost, MemoizedQueriesMatchFreshModel)
+{
+    // A repeated query must come from the cache *and* be numerically
+    // identical to what an un-warmed model measures.
+    CoruscantCostModel warm(7);
+    OpCost first = warm.multiply(16);
+    EXPECT_EQ(warm.measurements(), 1u);
+    EXPECT_EQ(warm.cacheHits(), 0u);
+
+    OpCost again = warm.multiply(16);
+    EXPECT_EQ(warm.measurements(), 1u); // no functional re-execution
+    EXPECT_EQ(warm.cacheHits(), 1u);
+    EXPECT_EQ(again.cycles, first.cycles);
+    EXPECT_DOUBLE_EQ(again.energyPj, first.energyPj);
+    EXPECT_EQ(again.prims, first.prims);
+
+    CoruscantCostModel fresh(7);
+    OpCost cold = fresh.multiply(16);
+    EXPECT_EQ(cold.cycles, first.cycles);
+    EXPECT_DOUBLE_EQ(cold.energyPj, first.energyPj);
+    EXPECT_EQ(cold.prims, first.prims);
+}
+
+TEST(OpCost, DistinctKeysMeasureSeparately)
+{
+    CoruscantCostModel c(7);
+    c.add(2, 8);
+    c.add(2, 16);                       // different bits
+    c.add(3, 8);                        // different operands
+    c.multiply(8);                      // different op
+    c.multiply(8, MulStrategy::Arbitrary); // different strategy
+    c.max(7, 8, true);
+    c.max(7, 8, false);                 // different flag
+    EXPECT_EQ(c.measurements(), 7u);
+    EXPECT_EQ(c.cacheHits(), 0u);
+    c.add(2, 8);
+    c.multiply(8);
+    EXPECT_EQ(c.measurements(), 7u);
+    EXPECT_EQ(c.cacheHits(), 2u);
+}
+
+TEST(OpCost, CacheTravelsWithCopies)
+{
+    CoruscantCostModel a(7);
+    a.add(5, 8);
+    CoruscantCostModel b = a; // used by value in the polybench model
+    EXPECT_EQ(b.measurements(), 1u);
+    b.add(5, 8);
+    EXPECT_EQ(b.measurements(), 1u); // hit in the copied cache
+    EXPECT_EQ(b.cacheHits(), 1u);
+    EXPECT_EQ(a.cacheHits(), 0u);    // copies diverge afterwards
+}
+
+TEST(OpCost, RegistryRecordsEachOpOnce)
+{
+    CoruscantCostModel c(7);
+    obs::MetricsRegistry reg;
+    c.attachMetrics(&reg);
+    c.add(2, 8);
+    c.add(2, 8); // cache hit: no second recording
+    c.multiply(8);
+    const obs::ComponentMetrics *add = reg.find("opcost/add");
+    const obs::ComponentMetrics *mul = reg.find("opcost/multiply");
+    ASSERT_NE(add, nullptr);
+    ASSERT_NE(mul, nullptr);
+    EXPECT_EQ(add->prims(), c.add(2, 8).prims);
+    EXPECT_GT(mul->prims().shifts, 0u);
+    EXPECT_GT(add->energyPj(), 0.0);
+}
+
+TEST(OpCost, PrimCountsBackTheComposites)
+{
+    // Golden primitive breakdowns behind the Table III composites:
+    // a TRD=7 two-operand 8-bit add is one TR per bit plus 13 result
+    // writes and the 5 alignment shifts of the setup.
+    CoruscantCostModel c7(7);
+    OpCost add = c7.add(2, 8);
+    EXPECT_EQ(add.prims.trPulses, 8u);
+    EXPECT_EQ(add.prims.writes, 13u);
+    EXPECT_EQ(add.prims.shifts, 5u);
+    // Bulk ops read all operands in ONE transverse read.
+    EXPECT_EQ(c7.bulkBitwise(7).prims.trPulses, 1u);
+    EXPECT_EQ(c7.bulkBitwise(2).prims.trPulses, 1u);
+}
+
 } // namespace
 } // namespace coruscant

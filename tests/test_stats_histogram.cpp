@@ -42,6 +42,36 @@ TEST(LatencyHistogram, SmallValuesAreExact)
     EXPECT_DOUBLE_EQ(h.mean(), 31.5);
 }
 
+TEST(LatencyHistogram, SingleSampleReportsItself)
+{
+    // Regression: percentile() used to return the bucket's *upper*
+    // edge, so one sample of 64 (the first two-wide bucket) reported
+    // 65.  Results are now clamped to the observed [min, max].
+    LatencyHistogram h;
+    h.record(64);
+    EXPECT_EQ(h.min(), 64u);
+    EXPECT_EQ(h.max(), 64u);
+    for (double q : {0.0, 0.5, 0.99, 1.0})
+        EXPECT_EQ(h.percentile(q), 64u) << "q=" << q;
+
+    // Same at a coarser bucket: one sample, exact answer.
+    LatencyHistogram big;
+    big.record(1000000);
+    EXPECT_EQ(big.percentile(0.5), 1000000u);
+    EXPECT_EQ(big.percentile(0.999), 1000000u);
+}
+
+TEST(LatencyHistogram, ClampNeverUndershootsMin)
+{
+    // All mass in high buckets: low quantiles clamp up to min, never
+    // below the smallest recorded value.
+    LatencyHistogram h;
+    h.record(1000);
+    h.record(1000000);
+    EXPECT_GE(h.percentile(0.0), 1000u);
+    EXPECT_LE(h.percentile(1.0), 1000000u);
+}
+
 TEST(LatencyHistogram, QuantilesWithinRelativeErrorBound)
 {
     // Log bucketing guarantees the reported quantile is an upper

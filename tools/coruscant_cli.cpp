@@ -12,14 +12,21 @@
  *   campaign    end-to-end shift-fault campaign (DUE/SDC taxonomy)
  *   serve       sharded request-service simulation (tail latency)
  *
- * Options use --key value pairs; `coruscant_cli help` lists them.
+ * Options use --key value pairs and are validated strictly: an
+ * unknown option, a missing value, or a malformed number is a usage
+ * error (exit 2), never a silent fall-back to a default.
+ * `coruscant_cli help` lists every option.
+ *
+ * Observability: ops, campaign, and serve accept
+ *   --metrics-json FILE   per-component counter export (JSON)
+ *   --trace FILE          Chrome trace-event file (load in Perfetto)
+ *
  * Exit codes: 0 success, 1 runtime error, 2 usage error.
  */
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <map>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -28,63 +35,76 @@
 #include "apps/polybench/system_model.hpp"
 #include "core/op_cost.hpp"
 #include "dwm/area_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "reliability/error_model.hpp"
 #include "reliability/fault_campaign.hpp"
 #include "service/service_engine.hpp"
+#include "util/cli_args.hpp"
 #include "util/logging.hpp"
 
 using namespace coruscant;
 
 namespace {
 
-using Options = std::map<std::string, std::string>;
-
-Options
-parseOptions(int argc, char **argv, int first)
+/** Parse strictly against @p specs; exits 2 on any violation. */
+ParsedArgs
+parseOrDie(const std::vector<std::string> &args,
+           const std::vector<ArgSpec> &specs)
 {
-    Options opts;
-    for (int i = first; i + 1 < argc; i += 2) {
-        std::string key = argv[i];
-        if (key.rfind("--", 0) != 0) {
-            std::fprintf(stderr, "unexpected argument '%s'\n",
-                         argv[i]);
-            std::exit(2);
-        }
-        opts[key.substr(2)] = argv[i + 1];
+    ParsedArgs o = parseArgs(args, specs);
+    if (!o.ok()) {
+        std::fprintf(stderr, "error: %s\n", o.error().c_str());
+        std::fprintf(stderr,
+                     "run 'coruscant_cli help' for the option list\n");
+        std::exit(2);
     }
-    return opts;
+    return o;
 }
 
-std::size_t
-getSize(const Options &o, const std::string &key, std::size_t dflt)
+/** Write @p text to @p path; reports and fails on I/O errors. */
+bool
+writeTextFile(const std::string &path, const std::string &text)
 {
-    auto it = o.find(key);
-    return it == o.end()
-               ? dflt
-               : static_cast<std::size_t>(std::stoull(it->second));
+    std::ofstream os(path);
+    if (os)
+        os << text;
+    if (!os) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
 }
 
-double
-getDouble(const Options &o, const std::string &key, double dflt)
+/** Write the sink's trace-event JSON to @p path. */
+bool
+writeTraceFile(const std::string &path, const obs::TraceSink &trace)
 {
-    auto it = o.find(key);
-    return it == o.end() ? dflt : std::stod(it->second);
-}
-
-std::string
-getString(const Options &o, const std::string &key,
-          const std::string &dflt)
-{
-    auto it = o.find(key);
-    return it == o.end() ? dflt : it->second;
+    std::ofstream os(path);
+    if (os)
+        trace.writeJson(os);
+    if (!os) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
 }
 
 int
-cmdOps(const Options &o)
+cmdOps(const std::vector<std::string> &args)
 {
-    std::size_t trd = getSize(o, "trd", 7);
-    std::size_t bits = getSize(o, "bits", 8);
+    ParsedArgs o = parseOrDie(args, {{"trd", ArgType::Size},
+                                     {"bits", ArgType::Size},
+                                     {"metrics-json", ArgType::String},
+                                     {"trace", ArgType::String}});
+    std::size_t trd = o.getSize("trd", 7);
+    std::size_t bits = o.getSize("bits", 8);
     CoruscantCostModel cost(trd);
+    obs::MetricsRegistry reg;
+    if (o.has("metrics-json"))
+        cost.attachMetrics(&reg); // record primitives per measured op
     std::printf("CORUSCANT operation costs (TRD=%zu, %zu-bit):\n", trd,
                 bits);
     auto p = [&](const char *name, OpCost c) {
@@ -101,12 +121,48 @@ cmdOps(const Options &o)
     p("7->3 reduction", cost.reduce());
     p("max (TRD candidates)", cost.max(trd, bits));
     p("NMR vote (N=3)", cost.nmrVote(3));
+
+    if (o.has("metrics-json") &&
+        !writeTextFile(o.getString("metrics-json", ""), reg.toJson()))
+        return 1;
+    if (o.has("trace")) {
+        // Re-run the composite ops on instrumented units so the trace
+        // shows each op's span tree (cycles rendered as microseconds).
+        obs::TraceSink trace;
+        trace.enable();
+        trace.processName(0, "coruscant ops");
+        DeviceParams dp_add = DeviceParams::withTrd(trd);
+        dp_add.wiresPerDbc = bits;
+        CoruscantUnit add_unit(dp_add);
+        add_unit.attachTrace(&trace, 0, 0);
+        std::vector<BitVector> ops2(2, BitVector(bits, true));
+        add_unit.add(ops2, bits, bits);
+
+        DeviceParams dp_mul = DeviceParams::withTrd(trd);
+        dp_mul.wiresPerDbc = 2 * bits;
+        CoruscantUnit mul_unit(dp_mul);
+        mul_unit.attachTrace(&trace, 0, 1);
+        BitVector a = BitVector::fromUint64(2 * bits, (1ULL << bits) - 1);
+        mul_unit.multiply(a, a, bits);
+
+        DeviceParams dp_row = DeviceParams::withTrd(trd);
+        dp_row.wiresPerDbc = 512;
+        CoruscantUnit row_unit(dp_row);
+        row_unit.attachTrace(&trace, 0, 2);
+        std::vector<BitVector> rows(trd, BitVector(512, true));
+        row_unit.bulkBitwise(BulkOp::And, rows);
+        row_unit.reduce(rows, 512);
+        row_unit.nmrVote({rows[0], rows[1], rows[2]});
+        if (!writeTraceFile(o.getString("trace", ""), trace))
+            return 1;
+    }
     return 0;
 }
 
 int
-cmdArea(const Options &)
+cmdArea(const std::vector<std::string> &args)
 {
+    parseOrDie(args, {});
     AreaModel model;
     std::printf("PIM area overhead (1 PIM tile per subarray):\n");
     std::printf("  ADD2          %.1f %%\n",
@@ -125,10 +181,12 @@ cmdArea(const Options &)
 }
 
 int
-cmdBitmap(const Options &o)
+cmdBitmap(const std::vector<std::string> &args)
 {
-    std::size_t users = getSize(o, "users", 1u << 20);
-    std::size_t weeks = getSize(o, "weeks", 4);
+    ParsedArgs o = parseOrDie(
+        args, {{"users", ArgType::Size}, {"weeks", ArgType::Size}});
+    std::size_t users = o.getSize("users", 1u << 20);
+    std::size_t weeks = o.getSize("weeks", 4);
     auto db = BitmapDatabase::synthesize(users, weeks);
     BitmapQueryEngine eng(db);
     std::printf("bitmap query over %zu users:\n", users);
@@ -149,9 +207,10 @@ cmdBitmap(const Options &o)
 }
 
 int
-cmdPolybench(const Options &o)
+cmdPolybench(const std::vector<std::string> &args)
 {
-    std::size_t n = getSize(o, "size", 48);
+    ParsedArgs o = parseOrDie(args, {{"size", ArgType::Size}});
+    std::size_t n = o.getSize("size", 48);
     PolybenchSystemModel model;
     std::printf("polybench system comparison (n=%zu):\n", n);
     for (const auto &run : runAllPolybench(n)) {
@@ -165,10 +224,23 @@ cmdPolybench(const Options &o)
 }
 
 int
-cmdCnn(const Options &o)
+cmdCnn(const std::vector<std::string> &args)
 {
-    std::string net_name = getString(o, "network", "alexnet");
-    std::string mode_name = getString(o, "mode", "fp");
+    ParsedArgs o = parseOrDie(
+        args, {{"network", ArgType::String}, {"mode", ArgType::String}});
+    std::string net_name = o.getString("network", "alexnet");
+    std::string mode_name = o.getString("mode", "fp");
+    if (net_name != "alexnet" && net_name != "lenet5") {
+        std::fprintf(stderr,
+                     "unknown network '%s' (alexnet, lenet5)\n",
+                     net_name.c_str());
+        return 2;
+    }
+    if (mode_name != "fp" && mode_name != "twn" && mode_name != "bwn") {
+        std::fprintf(stderr, "unknown mode '%s' (fp, twn, bwn)\n",
+                     mode_name.c_str());
+        return 2;
+    }
     CnnNetwork net = net_name == "lenet5" ? CnnNetwork::lenet5()
                                           : CnnNetwork::alexnet();
     CnnMode mode = mode_name == "twn" ? CnnMode::TernaryWeight
@@ -183,10 +255,12 @@ cmdCnn(const Options &o)
 }
 
 int
-cmdReliability(const Options &o)
+cmdReliability(const std::vector<std::string> &args)
 {
-    std::size_t trd = getSize(o, "trd", 7);
-    double p = getDouble(o, "pfault", 1e-6);
+    ParsedArgs o = parseOrDie(
+        args, {{"trd", ArgType::Size}, {"pfault", ArgType::Double}});
+    std::size_t trd = o.getSize("trd", 7);
+    double p = o.getDouble("pfault", 1e-6);
     TrErrorModel m(trd, p);
     std::printf("error rates (TRD=%zu, p_TR=%g):\n", trd, p);
     std::printf("  AND/OR/C' per bit : %.3g\n",
@@ -203,14 +277,21 @@ cmdReliability(const Options &o)
 }
 
 int
-cmdCampaign(const Options &o)
+cmdCampaign(const std::vector<std::string> &args)
 {
+    ParsedArgs o = parseOrDie(args, {{"pshift", ArgType::Double},
+                                     {"trials", ArgType::Size},
+                                     {"seed", ArgType::Size},
+                                     {"retire", ArgType::Size},
+                                     {"policy", ArgType::String},
+                                     {"metrics-json", ArgType::String},
+                                     {"trace", ArgType::String}});
     ControllerCampaignConfig cfg;
-    cfg.shiftFaultRate = getDouble(o, "pshift", 1e-3);
-    cfg.trials = getSize(o, "trials", 500);
-    cfg.seed = getSize(o, "seed", 1);
-    cfg.retireThreshold = getSize(o, "retire", 0);
-    std::string policy = getString(o, "policy", "per-access");
+    cfg.shiftFaultRate = o.getDouble("pshift", 1e-3);
+    cfg.trials = o.getSize("trials", 500);
+    cfg.seed = o.getSize("seed", 1);
+    cfg.retireThreshold = o.getSize("retire", 0);
+    std::string policy = o.getString("policy", "per-access");
     if (policy == "none")
         cfg.policy = GuardPolicy::None;
     else if (policy == "per-access")
@@ -224,6 +305,16 @@ cmdCampaign(const Options &o)
                              "per-cpim, scrub)\n",
                      policy.c_str());
         return 2;
+    }
+    obs::MetricsRegistry reg;
+    obs::TraceSink trace;
+    if (o.has("trace")) {
+        trace.enable();
+        trace.processName(0, "campaign");
+    }
+    if (o.has("metrics-json") || o.has("trace")) {
+        cfg.metrics = &reg;
+        cfg.trace = o.has("trace") ? &trace : nullptr;
     }
     auto res = FaultCampaign::controllerCampaign(cfg);
     std::printf("end-to-end campaign: policy=%s p_shift=%g "
@@ -249,35 +340,63 @@ cmdCampaign(const Options &o)
                 static_cast<unsigned long long>(res.retiredDbcs));
     std::printf("  coverage               : %.4f\n", res.coverage());
     std::printf("  SDC rate               : %.4g\n", res.sdcRate());
+    if (o.has("metrics-json") &&
+        !writeTextFile(o.getString("metrics-json", ""), reg.toJson()))
+        return 1;
+    if (o.has("trace") &&
+        !writeTraceFile(o.getString("trace", ""), trace))
+        return 1;
     return 0;
 }
 
 int
-cmdServe(const Options &o)
+cmdServe(const std::vector<std::string> &args)
 {
+    ParsedArgs o = parseOrDie(args, {{"channels", ArgType::Size},
+                                     {"threads", ArgType::Size},
+                                     {"banks", ArgType::Size},
+                                     {"groups", ArgType::Size},
+                                     {"trd", ArgType::Size},
+                                     {"seed", ArgType::Size},
+                                     {"rate", ArgType::Double},
+                                     {"duration", ArgType::Size},
+                                     {"window", ArgType::Size},
+                                     {"queue-cap", ArgType::Size},
+                                     {"hot", ArgType::Size},
+                                     {"clients", ArgType::Size},
+                                     {"batch", ArgType::String},
+                                     {"mix", ArgType::String},
+                                     {"process", ArgType::String},
+                                     {"metrics-json", ArgType::String},
+                                     {"trace", ArgType::String}});
     ServiceConfig cfg;
     cfg.channels =
-        static_cast<std::uint32_t>(getSize(o, "channels", 8));
-    cfg.threads = static_cast<std::uint32_t>(getSize(o, "threads", 1));
+        static_cast<std::uint32_t>(o.getSize("channels", 8));
+    cfg.threads = static_cast<std::uint32_t>(o.getSize("threads", 1));
     cfg.banksPerChannel =
-        static_cast<std::uint32_t>(getSize(o, "banks", 16));
+        static_cast<std::uint32_t>(o.getSize("banks", 16));
     cfg.dbcGroupsPerBank =
-        static_cast<std::uint32_t>(getSize(o, "groups", 4));
-    cfg.trd = getSize(o, "trd", 7);
-    cfg.seed = getSize(o, "seed", 1);
-    cfg.ratePerKcycle = getDouble(o, "rate", 8.0);
-    cfg.durationCycles = getSize(o, "duration", 100000);
-    cfg.batchWindowCycles = getSize(o, "window", 256);
-    cfg.queueCapacity = getSize(o, "queue-cap", 64);
-    cfg.bulkHotGroups =
-        static_cast<std::uint32_t>(getSize(o, "hot", 8));
+        static_cast<std::uint32_t>(o.getSize("groups", 4));
+    cfg.trd = o.getSize("trd", 7);
+    cfg.seed = o.getSize("seed", 1);
+    cfg.ratePerKcycle = o.getDouble("rate", 8.0);
+    cfg.durationCycles = o.getSize("duration", 100000);
+    cfg.batchWindowCycles = o.getSize("window", 256);
+    cfg.queueCapacity = o.getSize("queue-cap", 64);
+    cfg.bulkHotGroups = static_cast<std::uint32_t>(o.getSize("hot", 8));
     cfg.closedLoopWindow =
-        static_cast<std::uint32_t>(getSize(o, "clients", 8));
-    cfg.batching = getString(o, "batch", "on") != "off";
-    std::string mix = getString(o, "mix", "");
+        static_cast<std::uint32_t>(o.getSize("clients", 8));
+    std::string batch = o.getString("batch", "on");
+    if (batch != "on" && batch != "off") {
+        std::fprintf(stderr, "unknown batch '%s' (on, off)\n",
+                     batch.c_str());
+        return 2;
+    }
+    cfg.batching = batch != "off";
+    std::string mix = o.getString("mix", "");
     if (!mix.empty())
         cfg.mix = WorkloadMix::parse(mix);
-    std::string process = getString(o, "process", "poisson");
+    std::string process = o.getString("process", "poisson");
     if (process == "poisson")
         cfg.process = ArrivalProcess::Poisson;
     else if (process == "bursty")
@@ -290,6 +409,8 @@ cmdServe(const Options &o)
                      process.c_str());
         return 2;
     }
+    cfg.collectMetrics = o.has("metrics-json");
+    cfg.collectTrace = o.has("trace");
     std::printf("serve: channels=%u threads=%u banks=%u process=%s "
                 "rate=%.3g/kcycle duration=%llu seed=%llu batch=%s "
                 "mix=%s\n",
@@ -301,6 +422,13 @@ cmdServe(const Options &o)
                 cfg.mix.describe().c_str());
     ServiceStats stats = runService(cfg);
     std::printf("%s", stats.report().c_str());
+    if (cfg.collectMetrics &&
+        !writeTextFile(o.getString("metrics-json", ""),
+                       stats.metrics.toJson()))
+        return 1;
+    if (cfg.collectTrace &&
+        !writeTraceFile(o.getString("trace", ""), stats.trace))
+        return 1;
     return 0;
 }
 
@@ -325,7 +453,12 @@ usage(std::FILE *out)
         "              [--mix read:0.2,bulk:0.5,...] [--batch on|off]\n"
         "              [--process poisson|bursty|closed] [--window 256]\n"
         "              [--queue-cap 64] [--clients 8] [--trd 7]\n"
-        "  help                                 this text\n");
+        "  help                                 this text\n\n"
+        "observability (ops, campaign, serve):\n"
+        "  --metrics-json FILE   per-component counters as JSON\n"
+        "  --trace FILE          Chrome trace events (Perfetto)\n\n"
+        "options are validated strictly: unknown flags, missing\n"
+        "values, and malformed numbers exit 2.\n");
 }
 
 } // namespace
@@ -342,24 +475,24 @@ main(int argc, char **argv)
         usage(stdout);
         return 0;
     }
-    Options opts = parseOptions(argc, argv, 2);
+    std::vector<std::string> args(argv + 2, argv + argc);
     try {
         if (cmd == "ops")
-            return cmdOps(opts);
+            return cmdOps(args);
         if (cmd == "area")
-            return cmdArea(opts);
+            return cmdArea(args);
         if (cmd == "bitmap")
-            return cmdBitmap(opts);
+            return cmdBitmap(args);
         if (cmd == "polybench")
-            return cmdPolybench(opts);
+            return cmdPolybench(args);
         if (cmd == "cnn")
-            return cmdCnn(opts);
+            return cmdCnn(args);
         if (cmd == "reliability")
-            return cmdReliability(opts);
+            return cmdReliability(args);
         if (cmd == "campaign")
-            return cmdCampaign(opts);
+            return cmdCampaign(args);
         if (cmd == "serve")
-            return cmdServe(opts);
+            return cmdServe(args);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
