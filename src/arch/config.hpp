@@ -78,6 +78,14 @@ struct ReliabilityConfig
     std::size_t maxRetries = 2;
 
     /**
+     * Idle cycles charged before the first ladder re-execution,
+     * doubling with each further attempt (exponential backoff lets a
+     * transient disturbance decay before the retry).  0 retries
+     * immediately, preserving the pre-backoff cost accounting.
+     */
+    std::uint64_t retryBackoffCycles = 0;
+
+    /**
      * Corrected-fault count at which a DBC is retired and its
      * addresses remapped to a spare (0 disables retirement).
      */

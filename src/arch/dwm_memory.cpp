@@ -165,6 +165,11 @@ DwmMainMemory::guardMaintain(MemDbc &state, GuardReport *report)
     if (wear_out || (!r.aligned && rel.retireThreshold > 0)) {
         if (MemDbc *fresh = retire(state))
             return *fresh;
+        // Spare pool exhausted: the worn cluster stays in service.
+        // Surface the capacity shortfall so callers can degrade
+        // (reject/steer) instead of retrying a hopeless retirement.
+        if (report)
+            report->sparesExhausted = true;
     }
     return state;
 }

@@ -45,6 +45,7 @@ struct GuardReport
     bool misaligned = false;    ///< the check found a misalignment
     bool corrected = false;     ///< corrective pulses restored alignment
     bool uncorrectable = false; ///< cluster could not be realigned
+    bool sparesExhausted = false; ///< retirement wanted, no spare left
 };
 
 /** Outcome of a full scrub sweep. */
@@ -161,6 +162,18 @@ class DwmMainMemory
     /** Aggregate access cost (timing charged in memory cycles). */
     const CostLedger &ledger() const { return costs; }
     void resetCosts() { costs.reset(); }
+
+    /**
+     * Charge the controller's retry-ladder backoff wait (cycles spent
+     * idle between a detected fault and the re-execution) so guarded
+     * retries appear in the same ledger as the work they delay.
+     */
+    void
+    chargeRetryBackoff(std::uint64_t cycles)
+    {
+        if (cycles > 0)
+            costs.charge("retry_backoff", cycles, 0.0);
+    }
 
     /** Total DW shift steps performed by accesses so far. */
     std::uint64_t totalShifts() const { return shiftSteps; }

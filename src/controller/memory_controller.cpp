@@ -125,8 +125,12 @@ MemoryController::executeGuarded(const CpimInstruction &inst)
         // uncorrectable event the memory hit during this instruction.
         std::uint64_t due_before = mem.uncorrectableEvents();
         std::uint64_t fix_before = mem.correctedMisalignments();
+        std::uint64_t exhausted_before = mem.retirementFailures();
         report.result = computeOnce(inst);
-        if (mem.uncorrectableEvents() > due_before) {
+        if (mem.retirementFailures() > exhausted_before) {
+            report.outcome = ExecOutcome::SparesExhausted;
+            ++spareExhaustedCount;
+        } else if (mem.uncorrectableEvents() > due_before) {
             report.outcome = ExecOutcome::Uncorrectable;
             ++uncorrectableCount;
         } else if (mem.correctedMisalignments() > fix_before) {
@@ -145,17 +149,22 @@ MemoryController::executeGuarded(const CpimInstruction &inst)
     bool corrected = pre_src.corrected || pre_dst.corrected;
     bool uncorrectable =
         pre_src.uncorrectable || pre_dst.uncorrectable;
+    bool spares_exhausted =
+        pre_src.sparesExhausted || pre_dst.sparesExhausted;
     (void)last_operand; // operands share the source DBC by the ISA
 
     // Rungs 2-3: execute, then re-check; a fault that struck between
     // the pre-check and the post-check may have corrupted the operand
-    // reads or the result write, so re-read and recompute.
+    // reads or the result write, so re-read and recompute — after an
+    // exponentially growing backoff wait when one is configured.
     for (unsigned attempt = 0;; ++attempt) {
         report.result = computeOnce(inst);
         GuardReport post_src = mem.checkLine(inst.src);
         GuardReport post_dst = mem.checkLine(inst.dst);
         uncorrectable |=
             post_src.uncorrectable || post_dst.uncorrectable;
+        spares_exhausted |=
+            post_src.sparesExhausted || post_dst.sparesExhausted;
         if (uncorrectable)
             break;
         if (!post_src.misaligned && !post_dst.misaligned)
@@ -163,6 +172,7 @@ MemoryController::executeGuarded(const CpimInstruction &inst)
         corrected = true;
         if (attempt >= rel.maxRetries)
             break; // ladder exhausted; keep the last (suspect) result
+        mem.chargeRetryBackoff(rel.retryBackoffCycles << attempt);
         ++report.retries;
     }
 
@@ -170,10 +180,18 @@ MemoryController::executeGuarded(const CpimInstruction &inst)
         ++retried;
     // Rung 4: escalate.  An uncorrectable misalignment means the
     // cluster (and possibly the operand data) is beyond the guard's
-    // reach; the caller must treat the result as untrusted.
-    if (uncorrectable) {
-        report.outcome = ExecOutcome::Uncorrectable;
-        ++uncorrectableCount;
+    // reach; the caller must treat the result as untrusted.  When the
+    // escalation itself failed for capacity (no spare to retire onto),
+    // report the typed capacity error so callers shed load instead of
+    // hammering a cluster that can never be replaced.
+    if (uncorrectable || spares_exhausted) {
+        if (spares_exhausted) {
+            report.outcome = ExecOutcome::SparesExhausted;
+            ++spareExhaustedCount;
+        } else {
+            report.outcome = ExecOutcome::Uncorrectable;
+            ++uncorrectableCount;
+        }
     } else if (corrected) {
         report.outcome = ExecOutcome::Corrected;
     }

@@ -46,6 +46,9 @@ enum class ExecOutcome
     Clean,         ///< no misalignment observed anywhere
     Corrected,     ///< misalignments detected and corrected (retried)
     Uncorrectable, ///< a DBC could not be realigned; result untrusted
+    SparesExhausted, ///< untrusted AND retirement found no spare left:
+                     ///< a typed capacity error — the serving layer
+                     ///< rejects/steers instead of retrying forever
 };
 
 /** Result of one guarded cpim execution. */
@@ -107,6 +110,12 @@ class MemoryController
         return uncorrectableCount;
     }
 
+    /** Instructions that hit an exhausted spare pool. */
+    std::uint64_t spareExhaustedInstructions() const
+    {
+        return spareExhaustedCount;
+    }
+
   private:
     BitVector computeOnce(const CpimInstruction &inst);
 
@@ -122,6 +131,7 @@ class MemoryController
     std::uint64_t executed = 0;
     std::uint64_t retried = 0;
     std::uint64_t uncorrectableCount = 0;
+    std::uint64_t spareExhaustedCount = 0;
 };
 
 } // namespace coruscant

@@ -86,6 +86,12 @@ class ShiftFaultModel
 
     double probability() const { return faultProbability; }
 
+    /**
+     * Change the fault rate mid-stream (chaos ramps).  The RNG stream
+     * is untouched, so runs remain reproducible for a fixed seed.
+     */
+    void setProbability(double p) { faultProbability = p; }
+
   private:
     double faultProbability = 0.0;
     double overFraction = 0.5;

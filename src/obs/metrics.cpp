@@ -29,6 +29,10 @@ counterName(Counter c)
         return "requests";
     case Counter::Gangs:
         return "gangs";
+    case Counter::BreakerTrips:
+        return "breaker_trips";
+    case Counter::Retirements:
+        return "retirements";
     }
     return "?";
 }

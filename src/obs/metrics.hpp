@@ -46,9 +46,11 @@ enum class Counter : std::uint8_t
     Retries,              ///< guarded-execution re-runs / backoffs
     Requests,             ///< service requests completed
     Gangs,                ///< TR gangs dispatched
+    BreakerTrips,         ///< DBC-health circuit-breaker openings
+    Retirements,          ///< DBC groups retired to spares
 };
 
-inline constexpr std::size_t kCounterKinds = 9;
+inline constexpr std::size_t kCounterKinds = 11;
 
 /** Stable JSON key for @p c. */
 const char *counterName(Counter c);

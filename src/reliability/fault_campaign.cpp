@@ -217,6 +217,7 @@ FaultCampaign::controllerCampaign(const ControllerCampaignConfig &ccfg)
         // not the result happens to be right; an unflagged wrong
         // result is the silent corruption the guard exists to prevent.
         bool flagged = rep.outcome == ExecOutcome::Uncorrectable ||
+                       rep.outcome == ExecOutcome::SparesExhausted ||
                        mem.uncorrectableEvents() > due0;
         bool fixed = rep.outcome == ExecOutcome::Corrected ||
                      mem.correctedMisalignments() > fix0;

@@ -87,6 +87,21 @@ GangBatcher::flushDue(std::uint64_t now)
 }
 
 std::vector<TrGang>
+GangBatcher::flushGroup(std::uint32_t bank, std::uint32_t group,
+                        std::uint64_t now)
+{
+    std::vector<TrGang> out;
+    auto it = open_.find(groupKey(bank, group));
+    if (it != open_.end()) {
+        std::uint64_t key = it->first;
+        OpenGang g = std::move(it->second);
+        open_.erase(it);
+        out.push_back(close(key, std::move(g), false, now));
+    }
+    return out;
+}
+
+std::vector<TrGang>
 GangBatcher::flushAll(std::uint64_t now)
 {
     std::vector<TrGang> out;

@@ -96,6 +96,16 @@ class GangBatcher
     /** Close and return all open gangs (end of run). */
     std::vector<TrGang> flushAll(std::uint64_t now);
 
+    /**
+     * Close and return the open gang bound to (@p bank, @p group), if
+     * any.  Used when the group's circuit breaker opens mid-window:
+     * the gang was formed before the failure and must leave the
+     * batcher before new admissions are steered elsewhere.
+     */
+    std::vector<TrGang> flushGroup(std::uint32_t bank,
+                                   std::uint32_t group,
+                                   std::uint64_t now);
+
     const BatchStats &stats() const { return stats_; }
 
     /** Requests currently held in open gangs. */

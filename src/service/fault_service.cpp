@@ -1,0 +1,269 @@
+#include "service/fault_service.hpp"
+
+#include <algorithm>
+
+#include "arch/dwm_memory.hpp"
+#include "util/bit_vector.hpp"
+#include "util/logging.hpp"
+
+namespace coruscant {
+
+const char *
+requestOutcomeName(RequestOutcome o)
+{
+    switch (o) {
+    case RequestOutcome::Clean:
+        return "clean";
+    case RequestOutcome::Corrected:
+        return "corrected";
+    case RequestOutcome::Due:
+        return "due";
+    case RequestOutcome::Sdc:
+        return "sdc";
+    case RequestOutcome::Rejected:
+        return "rejected";
+    }
+    return "?";
+}
+
+double
+ServiceFaultConfig::rateAt(std::uint64_t cycle) const
+{
+    double rate = shiftFaultRate;
+    for (const FaultRampStep &step : ramp) {
+        if (step.startCycle > cycle)
+            break;
+        rate = step.rate;
+    }
+    return rate;
+}
+
+std::vector<FaultRampStep>
+ServiceFaultConfig::chaosRamp(double base, std::uint64_t duration)
+{
+    fatalIf(base <= 0.0, "chaos ramp needs a positive base fault rate");
+    return {{0, base},
+            {duration / 4, 4.0 * base},
+            {duration / 2, 10.0 * base},
+            {3 * (duration / 4), base}};
+}
+
+GuardServiceCosts
+GuardServiceCosts::measure()
+{
+    // A minimal guarded memory: PerCpim keeps implicit per-access
+    // checks out of the way so each checkLine charge below isolates
+    // exactly one guard event; retireThreshold 1 makes the corrected
+    // check below also migrate the cluster, exposing the retire charge.
+    MemoryConfig mc;
+    mc.banks = 1;
+    mc.subarraysPerBank = 1;
+    mc.tilesPerSubarray = 1;
+    mc.dbcsPerTile = 2;
+    mc.pimDbcsPerSubarray = 1;
+    mc.reliability.guardPolicy = GuardPolicy::PerCpim;
+    mc.reliability.retireThreshold = 1;
+    mc.reliability.spareDbcs = 1;
+
+    DwmMainMemory mem(mc);
+    mem.writeLine(0, BitVector(mc.device.wiresPerDbc));
+
+    GuardServiceCosts out;
+    auto category = [&](const char *what) {
+        auto it = mem.ledger().byCategory().find(what);
+        return it == mem.ledger().byCategory().end() ? CostLedger::Entry{}
+                                                     : it->second;
+    };
+
+    mem.resetCosts();
+    GuardReport clean = mem.checkLine(0);
+    panicIf(!clean.checked || clean.misaligned,
+            "guard cost measurement: clean check misbehaved");
+    out.checkCycles =
+        static_cast<std::uint32_t>(category("guard").cycles);
+    out.checkEnergyPj = category("guard").energyPj;
+
+    mem.injectShiftFaultAt(0, true);
+    mem.resetCosts();
+    GuardReport fixed = mem.checkLine(0);
+    panicIf(!fixed.corrected,
+            "guard cost measurement: injected misalignment not corrected");
+    out.correctCycles = static_cast<std::uint32_t>(
+        category("guard").cycles + category("guard_fix").cycles);
+    out.correctEnergyPj =
+        category("guard").energyPj + category("guard_fix").energyPj;
+    out.retireCycles =
+        static_cast<std::uint32_t>(category("retire").cycles);
+    out.retireEnergyPj = category("retire").energyPj;
+    panicIf(out.retireCycles == 0,
+            "guard cost measurement: retirement did not trigger");
+
+    // Guard-track reset after an uncorrectable check: the structure
+    // rewrite DwmMainMemory charges as "guard_reset" (rows x
+    // (shift + write)); deterministic, so computed from the same
+    // device parameters rather than provoking an uncorrectable state.
+    std::size_t rows = mc.device.domainsPerWire;
+    out.resetCycles = static_cast<std::uint32_t>(
+        rows * (mc.device.shiftCycles + mc.device.writeCycles));
+    out.resetEnergyPj =
+        static_cast<double>(rows) *
+        (mc.device.shiftEnergyPj + mc.device.writeEnergyPj);
+    return out;
+}
+
+ChannelFaultInjector::ChannelFaultInjector(const ServiceFaultConfig &cfg,
+                                           std::uint64_t channel_seed)
+    : cfg_(cfg),
+      model_(cfg.rateAt(0) > 0.0 ? cfg.rateAt(0) : cfg.shiftFaultRate,
+             channel_seed, cfg.overShiftFraction)
+{}
+
+ChannelFaultInjector::Sample
+ChannelFaultInjector::sample(std::uint64_t shifts, std::uint64_t cycle)
+{
+    Sample s;
+    model_.setProbability(cfg_.rateAt(cycle));
+    for (std::uint64_t i = 0; i < shifts; ++i) {
+        switch (model_.sample()) {
+        case ShiftOutcome::Normal:
+            break;
+        case ShiftOutcome::OverShift:
+            ++s.faults;
+            ++s.net;
+            break;
+        case ShiftOutcome::UnderShift:
+            ++s.faults;
+            --s.net;
+            break;
+        }
+    }
+    return s;
+}
+
+DbcHealthTracker::DbcHealthTracker(const ServiceFaultConfig &cfg,
+                                   std::uint32_t banks,
+                                   std::uint32_t groups)
+    : cfg_(cfg), banks_(banks), groupsPerBank_(groups),
+      groups_(static_cast<std::size_t>(banks) * groups),
+      sparesLeft_(cfg.sparesPerChannel)
+{
+    fatalIf(banks == 0 || groups == 0,
+            "health tracker needs at least one (bank, group)");
+}
+
+DbcHealthTracker::GroupState &
+DbcHealthTracker::at(std::uint32_t bank, std::uint32_t group)
+{
+    return groups_[static_cast<std::size_t>(bank) * groupsPerBank_ +
+                   group];
+}
+
+const DbcHealthTracker::GroupState &
+DbcHealthTracker::at(std::uint32_t bank, std::uint32_t group) const
+{
+    return groups_[static_cast<std::size_t>(bank) * groupsPerBank_ +
+                   group];
+}
+
+bool
+DbcHealthTracker::available(std::uint32_t bank, std::uint32_t group,
+                            std::uint64_t cycle) const
+{
+    const GroupState &g = at(bank, group);
+    if (g.dead)
+        return false;
+    return !(cycle >= g.openedAt && cycle < g.openUntil);
+}
+
+bool
+DbcHealthTracker::steer(std::uint32_t &bank, std::uint32_t &group,
+                        std::uint64_t cycle)
+{
+    if (available(bank, group, cycle))
+        return true;
+    // Deterministic scan: sibling groups of the home bank preserve
+    // bank-level parallelism; then fall back to any live group.
+    for (std::uint32_t g = 0; g < groupsPerBank_; ++g) {
+        if (g != group && available(bank, g, cycle)) {
+            group = g;
+            ++steered_;
+            return true;
+        }
+    }
+    for (std::uint32_t b = 0; b < banks_; ++b) {
+        if (b == bank)
+            continue;
+        for (std::uint32_t g = 0; g < groupsPerBank_; ++g) {
+            if (available(b, g, cycle)) {
+                bank = b;
+                group = g;
+                ++steered_;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+DbcHealthTracker::ErrorAction
+DbcHealthTracker::recordError(std::uint32_t bank, std::uint32_t group,
+                              std::uint64_t cycle, bool due)
+{
+    ErrorAction action;
+    GroupState &g = at(bank, group);
+    if (g.dead)
+        return action;
+    std::uint64_t horizon =
+        cycle >= cfg_.healthWindowCycles
+            ? cycle - cfg_.healthWindowCycles
+            : 0;
+    g.errorCycles.erase(
+        std::remove_if(g.errorCycles.begin(), g.errorCycles.end(),
+                       [&](std::uint64_t c) { return c < horizon; }),
+        g.errorCycles.end());
+    g.errorCycles.push_back(cycle);
+    bool trip =
+        due || g.errorCycles.size() >= cfg_.breakerThreshold;
+    if (!trip)
+        return action;
+
+    g.errorCycles.clear();
+    g.trips += 1;
+    g.openedAt = cycle;
+    g.openUntil = cycle + cfg_.breakerCooldownCycles;
+    ++breakerTrips_;
+    action.breakerOpened = true;
+    if (g.trips < cfg_.tripsToRetire)
+        return action;
+
+    if (sparesLeft_ > 0) {
+        // Retired to a spare: the group comes back fresh once the
+        // engine's migration hold (holdUntil) elapses.
+        --sparesLeft_;
+        ++retired_;
+        g.trips = 0;
+        g.misalign = 0;
+        action.retired = true;
+    } else {
+        g.dead = true;
+        ++dead_;
+        action.died = true;
+    }
+    return action;
+}
+
+void
+DbcHealthTracker::holdUntil(std::uint32_t bank, std::uint32_t group,
+                            std::uint64_t cycle)
+{
+    GroupState &g = at(bank, group);
+    g.openUntil = std::max(g.openUntil, cycle);
+}
+
+int &
+DbcHealthTracker::misalign(std::uint32_t bank, std::uint32_t group)
+{
+    return at(bank, group).misalign;
+}
+
+} // namespace coruscant

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <exception>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <sstream>
 #include <thread>
@@ -80,6 +81,40 @@ ServiceStats::report() const
             static_cast<unsigned long long>(pc.latency.p99()));
         os << buf;
     }
+    os << "outcomes:";
+    for (std::size_t k = 0; k < kRequestOutcomes; ++k)
+        os << " "
+           << requestOutcomeName(static_cast<RequestOutcome>(k)) << "="
+           << outcomes[k];
+    os << "\n";
+    bool faulty = injectedFaults || guardRetries || breakerTrips ||
+                  retiredGroups || deadGroups || steeredRequests ||
+                  capacityRejections || maintenanceUnits;
+    if (faulty) {
+        std::snprintf(
+            buf, sizeof buf,
+            "faults: injected=%llu retries=%llu breaker-trips=%llu "
+            "retired=%llu dead=%llu steered=%llu "
+            "capacity-rejected=%llu maintenance-units=%llu "
+            "capacity-loss=%.4f\n",
+            static_cast<unsigned long long>(injectedFaults),
+            static_cast<unsigned long long>(guardRetries),
+            static_cast<unsigned long long>(breakerTrips),
+            static_cast<unsigned long long>(retiredGroups),
+            static_cast<unsigned long long>(deadGroups),
+            static_cast<unsigned long long>(steeredRequests),
+            static_cast<unsigned long long>(capacityRejections),
+            static_cast<unsigned long long>(maintenanceUnits),
+            capacityLossFraction);
+        os << buf;
+        for (std::size_t k = 0; k < kRequestOutcomes; ++k) {
+            if (outcomeLatency[k].count() == 0)
+                continue;
+            os << "  "
+               << requestOutcomeName(static_cast<RequestOutcome>(k))
+               << " latency: " << outcomeLatency[k].summary() << "\n";
+        }
+    }
     return os.str();
 }
 
@@ -112,18 +147,34 @@ class ChannelSim
 {
   public:
     ChannelSim(const ServiceConfig &cfg, const ServiceCostTable &costs,
+               const GuardServiceCosts &guard_costs,
                std::uint32_t channel)
-        : cfg_(cfg), costs_(costs), channel_(channel),
+        : cfg_(cfg), costs_(costs), guardCosts_(guard_costs),
+          channel_(channel),
           gen_(workloadConfigOf(cfg, costs.maxAddOperands()), cfg.seed,
                channel),
           batcher_(costs.maxGangOperands(), cfg.batchWindowCycles),
           bankFree_(cfg.banksPerChannel, 0)
     {
+        if (cfg.faults.enabled()) {
+            faultsOn_ = true;
+            // A distinct per-channel stream, salted so the fault RNG
+            // never correlates with the workload generator's.
+            injector_.emplace(cfg.faults,
+                              channelSeed(cfg.seed ^ 0xfa175eedull,
+                                          channel));
+            health_.emplace(cfg.faults, cfg.banksPerChannel,
+                            cfg.dbcGroupsPerBank);
+            nextScrub_ = cfg.faults.scrubIntervalCycles;
+        }
         if (cfg.collectMetrics) {
             std::string base = "channel" + std::to_string(channel);
             chMetrics_ = &stats_.metrics.component(base);
             batchMetrics_ =
                 &stats_.metrics.component(base + "/batcher");
+            if (faultsOn_)
+                guardMetrics_ =
+                    &stats_.metrics.component(base + "/guard");
         }
         if (cfg.collectTrace) {
             stats_.trace.enable();
@@ -143,6 +194,15 @@ class ChannelSim
         finishFlush();
         stats_.makespan = makespan_;
         stats_.batch = batcher_.stats();
+        if (faultsOn_) {
+            stats_.injectedFaults = injector_->injected();
+            stats_.breakerTrips = health_->breakerTrips();
+            stats_.retiredGroups = health_->retiredGroups();
+            stats_.deadGroups = health_->deadGroups();
+            stats_.steeredRequests = health_->steeredRequests();
+            stats_.capacityLossFraction =
+                health_->capacityLossFraction();
+        }
 
         EventSimulator sim(cfg_.banksPerChannel);
         SimStats replay = sim.run(trace_, SchedulePolicy::InOrder);
@@ -189,6 +249,8 @@ class ChannelSim
         if (cfg_.queueCapacity > 0 && depth >= cfg_.queueCapacity) {
             stats_.rejected += 1;
             stats_.perClass[c].rejected += 1;
+            stats_.outcomes[static_cast<std::size_t>(
+                RequestOutcome::Rejected)] += 1;
             return false;
         }
         outstanding_[c] += 1;
@@ -199,12 +261,248 @@ class ChannelSim
         return true;
     }
 
+    /**
+     * Degradation-aware admission: route the request's (bank, group)
+     * home around breaker-open/retiring/dead groups before it can
+     * reach the batcher — broken groups never join gang formation.
+     * When no live group remains the request is a typed capacity
+     * rejection, not an abort.
+     */
+    bool
+    admitSteered(ServiceRequest &r, std::uint64_t now)
+    {
+        if (health_) {
+            std::uint32_t bank = r.bank;
+            std::uint32_t group = r.dbcGroup;
+            if (!health_->steer(bank, group, now)) {
+                auto c = static_cast<std::size_t>(r.cls);
+                stats_.generated += 1;
+                stats_.perClass[c].generated += 1;
+                stats_.rejected += 1;
+                stats_.perClass[c].rejected += 1;
+                stats_.outcomes[static_cast<std::size_t>(
+                    RequestOutcome::Rejected)] += 1;
+                stats_.capacityRejections += 1;
+                return false;
+            }
+            r.bank = bank;
+            r.dbcGroup = group;
+        }
+        return admit(r, now);
+    }
+
+    /** What the fault pipeline decided about one dispatched unit. */
+    struct FaultVerdict
+    {
+        std::uint64_t extraCycles = 0; ///< folded into service time
+        double extraEnergyPj = 0.0;
+        RequestOutcome outcome = RequestOutcome::Clean;
+        std::uint32_t retries = 0;     ///< re-executions after detection
+        std::uint32_t corrections = 0; ///< misalignments fixed
+        bool detected = false;         ///< health-tracker relevant
+        bool due = false;
+    };
+
+    /**
+     * Run one unit's shift pulses through the channel's fault injector
+     * under the configured guard policy.  Detection/correction charges
+     * come from GuardServiceCosts (measured through the real device
+     * pipeline); re-executions re-pay the unit's base service time
+     * after an exponential backoff.
+     */
+    FaultVerdict
+    applyFaults(std::uint64_t now, std::uint32_t bank,
+                std::uint32_t group, const RequestCost &cost,
+                std::uint64_t shifts, bool pim_class)
+    {
+        FaultVerdict v;
+        const ServiceFaultConfig &fc = cfg_.faults;
+        const GuardServiceCosts &g = guardCosts_;
+        if (fc.policy == GuardPolicy::PerAccess) {
+            // Every access's alignment burst is guard-checked before
+            // the port touches data, so each fault is caught where it
+            // happens: corrections add latency, nothing survives
+            // silently and nothing accumulates.
+            v.extraCycles += g.checkCycles;
+            v.extraEnergyPj += g.checkEnergyPj;
+            ChannelFaultInjector::Sample s =
+                injector_->sample(shifts, now);
+            if (s.faults) {
+                v.extraCycles += s.faults * g.correctCycles;
+                v.extraEnergyPj += s.faults * g.correctEnergyPj;
+                v.corrections += s.faults;
+                v.detected = true;
+                v.outcome = RequestOutcome::Corrected;
+            }
+            return v;
+        }
+        bool guarded = fc.policy == GuardPolicy::PerCpim && pim_class;
+        if (!guarded) {
+            // Silent path (None, scrub-between-sweeps, or non-cpim
+            // traffic under PerCpim): faults land unobserved and the
+            // group's misalignment sticks until something checks it.
+            int &mis = health_->misalign(bank, group);
+            bool dirty = mis != 0;
+            ChannelFaultInjector::Sample s =
+                injector_->sample(shifts, now);
+            mis += s.net;
+            if (dirty || s.faults)
+                v.outcome = RequestOutcome::Sdc;
+            return v;
+        }
+        // PerCpim: check around the whole unit, correct, and re-execute
+        // under the bounded retry ladder.  First clear anything earlier
+        // unguarded traffic left behind on this group.
+        {
+            int &mis = health_->misalign(bank, group);
+            v.extraCycles += g.checkCycles;
+            v.extraEnergyPj += g.checkEnergyPj;
+            if (mis != 0) {
+                if (mis == 1 || mis == -1) {
+                    v.extraCycles += g.correctCycles;
+                    v.extraEnergyPj += g.correctEnergyPj;
+                    v.corrections += 1;
+                    v.outcome = RequestOutcome::Corrected;
+                } else {
+                    v.extraCycles += g.resetCycles;
+                    v.extraEnergyPj += g.resetEnergyPj;
+                    v.due = true;
+                    v.outcome = RequestOutcome::Due;
+                }
+                v.detected = true;
+                mis = 0;
+            }
+        }
+        if (v.due)
+            return v;
+        for (std::size_t attempt = 0;; ++attempt) {
+            ChannelFaultInjector::Sample s =
+                injector_->sample(shifts, now);
+            if (s.faults == 0) {
+                if (attempt > 0)
+                    v.outcome = RequestOutcome::Corrected;
+                return v;
+            }
+            if (s.net == 0) {
+                // Over- and under-shifts cancelled within the unit:
+                // the post-check sees an aligned cluster, but rows
+                // touched between the bad pulses were wrong — the
+                // blind spot of the coarse check cadence.
+                v.extraCycles += g.checkCycles;
+                v.extraEnergyPj += g.checkEnergyPj;
+                v.outcome = RequestOutcome::Sdc;
+                return v;
+            }
+            v.detected = true;
+            if (s.net == 1 || s.net == -1) {
+                v.extraCycles += g.correctCycles;
+                v.extraEnergyPj += g.correctEnergyPj;
+                v.corrections += 1;
+            } else {
+                v.extraCycles += g.checkCycles + g.resetCycles;
+                v.extraEnergyPj += g.checkEnergyPj + g.resetEnergyPj;
+                v.due = true;
+                v.outcome = RequestOutcome::Due;
+                return v;
+            }
+            if (attempt >= fc.maxRetries) {
+                v.due = true;
+                v.outcome = RequestOutcome::Due;
+                return v;
+            }
+            v.extraCycles +=
+                (fc.retryBackoffCycles << attempt) + cost.serviceCycles;
+            v.extraEnergyPj += cost.energyPj;
+            v.retries += 1;
+        }
+    }
+
+    /**
+     * Non-request bank work (scrub sweeps, retirement migration):
+     * occupies the command bus and the bank like any dispatched unit,
+     * so the EventSimulator replay accounts for it cycle-for-cycle.
+     */
+    std::uint64_t
+    dispatchMaintenance(const char *name, std::uint64_t now,
+                        std::uint32_t bank,
+                        std::uint32_t service_cycles, double energy_pj)
+    {
+        std::uint64_t start =
+            std::max({now, busFree_, bankFree_[bank]});
+        busFree_ = start + 1;
+        std::uint64_t completion = start + 1 + service_cycles;
+        bankFree_[bank] = completion;
+        trace_.push_back({now, bank, 1, service_cycles});
+        stats_.dispatchedUnits += 1;
+        stats_.maintenanceUnits += 1;
+        stats_.energyPj += energy_pj;
+        makespan_ = std::max(makespan_, completion);
+        if (guardMetrics_)
+            guardMetrics_->addEnergy(energy_pj);
+        if (stats_.trace.on())
+            stats_.trace.span(name, "maintenance", start,
+                              1 + service_cycles, channel_, bank);
+        return completion;
+    }
+
+    /**
+     * Feed a detected error into the health tracker and act on its
+     * verdict: breaker-open trace/metrics, retirement migration (a
+     * maintenance unit holding the group until the copy completes),
+     * and eviction of any gang formed before the breaker opened.
+     */
+    void
+    handleHealthEvent(std::uint32_t bank, std::uint32_t group,
+                      std::uint64_t completion, bool due,
+                      std::uint64_t now)
+    {
+        DbcHealthTracker::ErrorAction act =
+            health_->recordError(bank, group, completion, due);
+        if (!act.breakerOpened)
+            return;
+        if (guardMetrics_)
+            guardMetrics_->add(obs::Counter::BreakerTrips);
+        if (stats_.trace.on())
+            stats_.trace.instant("breaker_open", "health", now,
+                                 channel_, bank);
+        if (act.retired) {
+            std::uint64_t done = dispatchMaintenance(
+                "migrate", now, bank, guardCosts_.retireCycles,
+                guardCosts_.retireEnergyPj);
+            health_->holdUntil(bank, group, done);
+            if (guardMetrics_)
+                guardMetrics_->add(obs::Counter::Retirements);
+            if (stats_.trace.on())
+                stats_.trace.instant("dbc_retire", "health", now,
+                                     channel_, bank);
+        } else if (act.died) {
+            if (stats_.trace.on())
+                stats_.trace.instant("dbc_dead", "health", now,
+                                     channel_, bank);
+        }
+        for (const TrGang &g : batcher_.flushGroup(bank, group, now))
+            dispatchGang(g);
+    }
+
     /** Dispatch one bus/bank unit carrying @p members requests. */
     std::uint64_t
-    dispatch(std::uint64_t now, std::uint32_t bank,
-             const RequestCost &cost,
+    dispatch(std::uint64_t now, std::uint32_t bank, std::uint32_t group,
+             RequestCost cost,
              const std::vector<ServiceRequest> &members)
     {
+        FaultVerdict verdict;
+        if (faultsOn_) {
+            std::uint64_t shifts =
+                members.size() > 1
+                    ? costs_.gangPrims(members.size()).shifts
+                    : costs_.prims(members.front()).shifts;
+            bool pim = members.front().cls != RequestClass::Read &&
+                       members.front().cls != RequestClass::Write;
+            verdict = applyFaults(now, bank, group, cost, shifts, pim);
+            cost.serviceCycles +=
+                static_cast<std::uint32_t>(verdict.extraCycles);
+            cost.energyPj += verdict.extraEnergyPj;
+        }
         std::uint64_t start =
             std::max({now, busFree_, bankFree_[bank]});
         busFree_ = start + cost.issueCmds;
@@ -233,6 +531,7 @@ class ChannelSim
                               channel_, bank, "members",
                               static_cast<double>(members.size()));
         }
+        auto oidx = static_cast<std::size_t>(verdict.outcome);
         for (const ServiceRequest &m : members) {
             auto c = static_cast<std::size_t>(m.cls);
             std::uint64_t lat = completion - m.arrival;
@@ -240,9 +539,25 @@ class ChannelSim
             stats_.perClass[c].latency.record(lat);
             stats_.perClass[c].completed += 1;
             stats_.completed += 1;
+            stats_.outcomes[oidx] += 1;
+            stats_.outcomeLatency[oidx].record(lat);
             inFlight_.push({completion, static_cast<std::uint8_t>(c)});
             if (closedLoop_)
                 slots_.push(completion);
+        }
+        if (faultsOn_) {
+            stats_.guardRetries += verdict.retries;
+            if (guardMetrics_) {
+                guardMetrics_->add(obs::Counter::MisalignCorrections,
+                                   verdict.corrections);
+                guardMetrics_->add(obs::Counter::Retries,
+                                   verdict.retries);
+                if (verdict.extraEnergyPj != 0.0)
+                    guardMetrics_->addEnergy(verdict.extraEnergyPj);
+            }
+            if (verdict.detected)
+                handleHealthEvent(bank, group, completion, verdict.due,
+                                  now);
         }
         return completion;
     }
@@ -252,8 +567,8 @@ class ChannelSim
     {
         if (batchMetrics_)
             batchMetrics_->add(obs::Counter::Gangs);
-        dispatch(g.readyAt, g.bank, costs_.gangCost(g.members.size()),
-                 g.members);
+        dispatch(g.readyAt, g.bank, g.dbcGroup,
+                 costs_.gangCost(g.members.size()), g.members);
     }
 
     /** Route an admitted request to the batcher or straight out. */
@@ -265,7 +580,58 @@ class ChannelSim
             if (!g.members.empty())
                 dispatchGang(g);
         } else {
-            dispatch(r.arrival, r.bank, costs_.cost(r), {r});
+            dispatch(r.arrival, r.bank, r.dbcGroup, costs_.cost(r),
+                     {r});
+        }
+    }
+
+    /** Whether a scrub sweep is due before the run's duration ends. */
+    bool
+    scrubDue() const
+    {
+        return faultsOn_ &&
+               cfg_.faults.policy == GuardPolicy::PeriodicScrub &&
+               cfg_.faults.scrubIntervalCycles > 0 &&
+               nextScrub_ < cfg_.durationCycles;
+    }
+
+    /**
+     * One scrub sweep: every (bank, group) pays a guard check, sticky
+     * misalignments are corrected (or reset when multi-step) and fed
+     * to the health tracker, and each bank's share is dispatched as a
+     * maintenance unit occupying it.
+     */
+    void
+    runScrub()
+    {
+        std::uint64_t at = nextScrub_;
+        nextScrub_ += cfg_.faults.scrubIntervalCycles;
+        for (std::uint32_t bank = 0; bank < cfg_.banksPerChannel;
+             ++bank) {
+            std::uint32_t cycles = 0;
+            double pj = 0.0;
+            for (std::uint32_t grp = 0; grp < cfg_.dbcGroupsPerBank;
+                 ++grp) {
+                cycles += guardCosts_.checkCycles;
+                pj += guardCosts_.checkEnergyPj;
+                int mis = health_->misalign(bank, grp);
+                if (mis == 0)
+                    continue;
+                bool due = mis < -1 || mis > 1;
+                if (due) {
+                    cycles += guardCosts_.resetCycles;
+                    pj += guardCosts_.resetEnergyPj;
+                } else {
+                    cycles += guardCosts_.correctCycles;
+                    pj += guardCosts_.correctEnergyPj;
+                    if (guardMetrics_)
+                        guardMetrics_->add(
+                            obs::Counter::MisalignCorrections);
+                }
+                health_->misalign(bank, grp) = 0;
+                handleHealthEvent(bank, grp, at + cycles, due, at);
+            }
+            dispatchMaintenance("scrub", at, bank, cycles, pj);
         }
     }
 
@@ -274,16 +640,20 @@ class ChannelSim
     {
         ServiceRequest next;
         bool have = gen_.next(next);
-        while (have || batcher_.pending() > 0) {
-            std::uint64_t deadline = batcher_.pending() > 0
+        while (have || batcher_.pending() > 0 || scrubDue()) {
+            std::uint64_t flush_at = batcher_.pending() > 0
                                          ? batcher_.nextDeadline()
                                          : ~0ull;
-            if (have && next.arrival < deadline) {
-                if (admit(next, next.arrival))
+            std::uint64_t scrub_at = scrubDue() ? nextScrub_ : ~0ull;
+            if (have &&
+                next.arrival < std::min(flush_at, scrub_at)) {
+                if (admitSteered(next, next.arrival))
                     handleAdmitted(next);
                 have = gen_.next(next);
+            } else if (scrub_at <= flush_at) {
+                runScrub();
             } else {
-                for (const TrGang &g : batcher_.flushDue(deadline))
+                for (const TrGang &g : batcher_.flushDue(flush_at))
                     dispatchGang(g);
             }
         }
@@ -298,6 +668,14 @@ class ChannelSim
         const std::uint64_t backoff =
             std::max<std::uint64_t>(1, cfg_.retryBackoffCycles);
         while (true) {
+            std::uint64_t slot_at = slots_.empty() ? ~0ull
+                                                   : slots_.top();
+            if (scrubDue() && nextScrub_ <= slot_at &&
+                (batcher_.pending() == 0 ||
+                 nextScrub_ <= batcher_.nextDeadline())) {
+                runScrub();
+                continue;
+            }
             if (batcher_.pending() > 0) {
                 std::uint64_t dl = batcher_.nextDeadline();
                 if (slots_.empty() || dl <= slots_.top()) {
@@ -313,7 +691,7 @@ class ChannelSim
             if (arrival >= cfg_.durationCycles)
                 continue; // this client retires
             ServiceRequest r = gen_.sampleAt(arrival);
-            if (admit(r, arrival))
+            if (admitSteered(r, arrival))
                 handleAdmitted(r);
             else
                 slots_.push(arrival + backoff);
@@ -332,12 +710,18 @@ class ChannelSim
 
     const ServiceConfig &cfg_;
     const ServiceCostTable &costs_;
+    const GuardServiceCosts &guardCosts_;
     std::uint32_t channel_ = 0;
     obs::ComponentMetrics *chMetrics_ = nullptr;    ///< into stats_
     obs::ComponentMetrics *batchMetrics_ = nullptr; ///< into stats_
+    obs::ComponentMetrics *guardMetrics_ = nullptr; ///< into stats_
     WorkloadGenerator gen_;
     GangBatcher batcher_;
     bool closedLoop_ = false;
+    bool faultsOn_ = false;
+    std::optional<ChannelFaultInjector> injector_;
+    std::optional<DbcHealthTracker> health_;
+    std::uint64_t nextScrub_ = 0;
 
     std::uint64_t busFree_ = 0;
     std::vector<std::uint64_t> bankFree_;
@@ -377,11 +761,18 @@ ServiceEngine::run() const
     }
     n_threads = std::min(n_threads, cfg_.channels);
 
+    // Guard maintenance costs are measured once through the real
+    // device pipeline and shared read-only by every channel worker.
+    GuardServiceCosts guard_costs;
+    if (cfg_.faults.enabled())
+        guard_costs = GuardServiceCosts::measure();
+
     std::vector<ServiceStats> per_channel(cfg_.channels);
     auto worker = [&](std::uint32_t first) {
         for (std::uint32_t ch = first; ch < cfg_.channels;
              ch += n_threads)
-            per_channel[ch] = ChannelSim(cfg_, costs_, ch).run();
+            per_channel[ch] =
+                ChannelSim(cfg_, costs_, guard_costs, ch).run();
     };
 
     if (n_threads <= 1) {
@@ -428,6 +819,19 @@ ServiceEngine::run() const
         out.trace.append(c.trace);
         for (std::size_t k = 0; k < kRequestClasses; ++k)
             out.perClass[k].merge(c.perClass[k]);
+        for (std::size_t k = 0; k < kRequestOutcomes; ++k) {
+            out.outcomes[k] += c.outcomes[k];
+            out.outcomeLatency[k].merge(c.outcomeLatency[k]);
+        }
+        out.injectedFaults += c.injectedFaults;
+        out.guardRetries += c.guardRetries;
+        out.breakerTrips += c.breakerTrips;
+        out.retiredGroups += c.retiredGroups;
+        out.deadGroups += c.deadGroups;
+        out.steeredRequests += c.steeredRequests;
+        out.capacityRejections += c.capacityRejections;
+        out.maintenanceUnits += c.maintenanceUnits;
+        out.capacityLossFraction += c.capacityLossFraction;
         issued_cycles +=
             c.busUtilization * static_cast<double>(c.makespan);
         busy_weight +=
@@ -440,6 +844,8 @@ ServiceEngine::run() const
         out.busUtilization = issued_cycles / span_sum;
         out.bankUtilization = busy_weight / span_sum;
     }
+    if (cfg_.channels > 0)
+        out.capacityLossFraction /= cfg_.channels;
     return out;
 }
 

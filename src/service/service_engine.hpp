@@ -41,6 +41,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace_sink.hpp"
 #include "service/batcher.hpp"
+#include "service/fault_service.hpp"
 #include "service/request.hpp"
 #include "service/workload.hpp"
 #include "util/stats.hpp"
@@ -74,6 +75,15 @@ struct ServiceConfig
 
     bool collectMetrics = false; ///< fill ServiceStats::metrics
     bool collectTrace = false;   ///< fill ServiceStats::trace
+
+    /**
+     * Live reliability: shift-fault injection, guard-policy handling
+     * with correction latency folded into service times, DBC health
+     * tracking, and degradation-aware steering.  Inactive (zero cost,
+     * bit-identical results to a fault-free build) unless
+     * faults.enabled().
+     */
+    ServiceFaultConfig faults;
 };
 
 /** Per-class service counters plus the class latency distribution. */
@@ -105,6 +115,32 @@ struct ServiceStats
     BatchStats batch;
     LatencyHistogram latency;     ///< all classes
     std::array<ClassStats, kRequestClasses> perClass{};
+
+    /**
+     * Typed per-request verdicts.  Every generated request lands in
+     * exactly one bin (completions split into Clean/Corrected/Due/Sdc;
+     * drops of any kind are Rejected), so the bins always sum to
+     * `generated` — with faults disabled everything is Clean/Rejected.
+     */
+    std::array<std::uint64_t, kRequestOutcomes> outcomes{};
+
+    /**
+     * Completion latency per outcome (Rejected stays empty), so clean
+     * and corrected tails are reportable separately; per-outcome
+     * histograms merge element-wise like every other histogram here.
+     */
+    std::array<LatencyHistogram, kRequestOutcomes> outcomeLatency{};
+
+    // --- Reliability counters (all zero when faults are disabled) ----
+    std::uint64_t injectedFaults = 0;  ///< misbehaving shift pulses
+    std::uint64_t guardRetries = 0;    ///< re-executions after detection
+    std::uint64_t breakerTrips = 0;    ///< DBC circuit-breaker openings
+    std::uint64_t retiredGroups = 0;   ///< groups migrated to spares
+    std::uint64_t deadGroups = 0;      ///< groups lost (no spare left)
+    std::uint64_t steeredRequests = 0; ///< admissions routed off home
+    std::uint64_t capacityRejections = 0; ///< no live group available
+    std::uint64_t maintenanceUnits = 0; ///< scrub/migration bus units
+    double capacityLossFraction = 0.0; ///< mean dead fraction/channel
 
     /**
      * Per-channel activity counters ("channel<N>", "channel<N>/batcher"

@@ -200,6 +200,90 @@ TEST(FaultPipeline, SpareExhaustionIsCountedNotFatal)
     EXPECT_GE(mem.retirementFailures(), 1u);
 }
 
+TEST(FaultPipeline, SpareExhaustionIsATypedControllerOutcome)
+{
+    // Retirement wants a spare on every correction (threshold 1) but
+    // the pool is empty: the guarded cpim must come back with the
+    // typed capacity error, not a bare Uncorrectable or a silent
+    // Corrected, so serving layers can shed load instead of retrying.
+    MemoryConfig cfg = smallConfig(GuardPolicy::PerCpim);
+    cfg.reliability.retireThreshold = 1;
+    cfg.reliability.spareDbcs = 0;
+    DwmMainMemory mem(cfg);
+    MemoryController ctrl(mem);
+    Rng rng(11);
+    auto golden = stageOperands(mem, 0, 3, 8, rng);
+    std::uint64_t dst = ctrl.operandAddress(0, 4);
+    mem.injectShiftFaultAt(0, true);
+
+    CpimInstruction inst;
+    inst.op = CpimOp::Add;
+    inst.src = 0;
+    inst.dst = dst;
+    inst.operands = 3;
+    inst.blockSize = 8;
+    ExecReport rep = ctrl.executeGuarded(inst);
+    EXPECT_EQ(rep.outcome, ExecOutcome::SparesExhausted);
+    EXPECT_EQ(ctrl.spareExhaustedInstructions(), 1u);
+    EXPECT_GE(mem.retirementFailures(), 1u);
+    // The correction itself still succeeded; the data is intact.
+    BitVector got = mem.readLine(dst);
+    for (std::size_t l = 0; l < golden.size(); ++l)
+        EXPECT_EQ(got.sliceUint64(l * 8, 8), golden[l]) << "lane " << l;
+}
+
+TEST(FaultPipeline, RetryBackoffIsChargedExponentially)
+{
+    MemoryConfig cfg = smallConfig(GuardPolicy::PerCpim);
+    cfg.reliability.shiftFaultRate = 0.05;
+    cfg.reliability.shiftFaultSeed = 3;
+    cfg.reliability.retryBackoffCycles = 64;
+    cfg.reliability.maxRetries = 3;
+    DwmMainMemory mem(cfg);
+    MemoryController ctrl(mem);
+    Rng rng(4);
+    stageOperands(mem, 0, 3, 8, rng);
+    CpimInstruction inst;
+    inst.op = CpimOp::Add;
+    inst.src = 0;
+    inst.dst = ctrl.operandAddress(0, 4);
+    inst.operands = 3;
+    inst.blockSize = 8;
+    unsigned retries = 0;
+    for (int i = 0; i < 50 && retries == 0; ++i)
+        retries = ctrl.executeGuarded(inst).retries;
+    ASSERT_GT(retries, 0u) << "no retry triggered at 5% fault rate";
+    const auto &by = mem.ledger().byCategory();
+    ASSERT_TRUE(by.count("retry_backoff"));
+    // First retry waits 64, the next 128, ...: total charged cycles
+    // are bounded below by the first wait and are a multiple of it.
+    EXPECT_GE(by.at("retry_backoff").cycles, 64u);
+    EXPECT_EQ(by.at("retry_backoff").cycles % 64, 0u);
+}
+
+TEST(FaultPipeline, ZeroBackoffPreservesPreBackoffLedger)
+{
+    // retryBackoffCycles = 0 (the default) must leave no trace in the
+    // ledger, keeping golden cost tests valid.
+    MemoryConfig cfg = smallConfig(GuardPolicy::PerCpim);
+    cfg.reliability.shiftFaultRate = 0.05;
+    cfg.reliability.shiftFaultSeed = 3;
+    cfg.reliability.maxRetries = 3;
+    DwmMainMemory mem(cfg);
+    MemoryController ctrl(mem);
+    Rng rng(4);
+    stageOperands(mem, 0, 3, 8, rng);
+    CpimInstruction inst;
+    inst.op = CpimOp::Add;
+    inst.src = 0;
+    inst.dst = ctrl.operandAddress(0, 4);
+    inst.operands = 3;
+    inst.blockSize = 8;
+    for (int i = 0; i < 50; ++i)
+        (void)ctrl.executeGuarded(inst);
+    EXPECT_EQ(mem.ledger().byCategory().count("retry_backoff"), 0u);
+}
+
 TEST(FaultPipeline, ScrubSweepRealignsEveryTouchedDbc)
 {
     DwmMainMemory mem(smallConfig(GuardPolicy::PeriodicScrub));

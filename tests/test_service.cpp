@@ -278,6 +278,32 @@ TEST(ServiceEngine, CompletesAllAdmittedRequests)
     EXPECT_EQ(per_class_total, s.completed);
 }
 
+TEST(ServiceEngine, FaultFreeTaxonomyIsCleanOrRejected)
+{
+    // With the fault pipeline inactive, the outcome taxonomy still
+    // closes: every completion is Clean, every drop is Rejected, and
+    // the bins sum to the generated count.
+    ServiceConfig cfg = smallConfig();
+    cfg.queueCapacity = 4;
+    cfg.ratePerKcycle = 400; // force backpressure rejections
+    ServiceStats s = runService(cfg);
+    EXPECT_EQ(s.outcomes[static_cast<std::size_t>(
+                  RequestOutcome::Clean)],
+              s.completed);
+    EXPECT_EQ(s.outcomes[static_cast<std::size_t>(
+                  RequestOutcome::Rejected)],
+              s.rejected);
+    EXPECT_GT(s.rejected, 0u);
+    std::uint64_t total = 0;
+    for (std::uint64_t n : s.outcomes)
+        total += n;
+    EXPECT_EQ(total, s.generated);
+    EXPECT_EQ(s.outcomeLatency[static_cast<std::size_t>(
+                                   RequestOutcome::Clean)]
+                  .count(),
+              s.completed);
+}
+
 TEST(ServiceEngine, UnboundedQueueNeverRejects)
 {
     ServiceConfig cfg = smallConfig();

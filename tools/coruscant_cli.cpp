@@ -367,6 +367,17 @@ cmdServe(const std::vector<std::string> &args)
                                      {"batch", ArgType::String},
                                      {"mix", ArgType::String},
                                      {"process", ArgType::String},
+                                     {"pshift", ArgType::Double},
+                                     {"policy", ArgType::String},
+                                     {"chaos", ArgType::String},
+                                     {"retries", ArgType::Size},
+                                     {"backoff", ArgType::Size},
+                                     {"health-window", ArgType::Size},
+                                     {"breaker-threshold", ArgType::Size},
+                                     {"cooldown", ArgType::Size},
+                                     {"trips", ArgType::Size},
+                                     {"spares", ArgType::Size},
+                                     {"scrub-interval", ArgType::Size},
                                      {"metrics-json", ArgType::String},
                                      {"trace", ArgType::String}});
     ServiceConfig cfg;
@@ -409,6 +420,52 @@ cmdServe(const std::vector<std::string> &args)
                      process.c_str());
         return 2;
     }
+    ServiceFaultConfig &faults = cfg.faults;
+    faults.shiftFaultRate = o.getDouble("pshift", 0.0);
+    std::string fault_policy = o.getString("policy", "per-access");
+    if (fault_policy == "none")
+        faults.policy = GuardPolicy::None;
+    else if (fault_policy == "per-access")
+        faults.policy = GuardPolicy::PerAccess;
+    else if (fault_policy == "per-cpim")
+        faults.policy = GuardPolicy::PerCpim;
+    else if (fault_policy == "scrub")
+        faults.policy = GuardPolicy::PeriodicScrub;
+    else {
+        std::fprintf(stderr, "unknown policy '%s' (none, per-access, "
+                             "per-cpim, scrub)\n",
+                     fault_policy.c_str());
+        return 2;
+    }
+    faults.maxRetries = o.getSize("retries", faults.maxRetries);
+    faults.retryBackoffCycles =
+        o.getSize("backoff", faults.retryBackoffCycles);
+    faults.healthWindowCycles =
+        o.getSize("health-window", faults.healthWindowCycles);
+    faults.breakerThreshold = static_cast<std::uint32_t>(
+        o.getSize("breaker-threshold", faults.breakerThreshold));
+    faults.breakerCooldownCycles =
+        o.getSize("cooldown", faults.breakerCooldownCycles);
+    faults.tripsToRetire = static_cast<std::uint32_t>(
+        o.getSize("trips", faults.tripsToRetire));
+    faults.sparesPerChannel = static_cast<std::uint32_t>(
+        o.getSize("spares", faults.sparesPerChannel));
+    faults.scrubIntervalCycles =
+        o.getSize("scrub-interval", faults.scrubIntervalCycles);
+    std::string chaos = o.getString("chaos", "off");
+    if (chaos != "on" && chaos != "off") {
+        std::fprintf(stderr, "unknown chaos '%s' (on, off)\n",
+                     chaos.c_str());
+        return 2;
+    }
+    if (chaos == "on") {
+        // Chaos mode: ramp the fault rate through a mid-run storm.
+        // Base rate defaults to 1e-3 when --pshift was not given.
+        double base =
+            faults.shiftFaultRate > 0.0 ? faults.shiftFaultRate : 1e-3;
+        faults.ramp =
+            ServiceFaultConfig::chaosRamp(base, cfg.durationCycles);
+    }
     cfg.collectMetrics = o.has("metrics-json");
     cfg.collectTrace = o.has("trace");
     std::printf("serve: channels=%u threads=%u banks=%u process=%s "
@@ -420,6 +477,15 @@ cmdServe(const std::vector<std::string> &args)
                 static_cast<unsigned long long>(cfg.seed),
                 cfg.batching ? "on" : "off",
                 cfg.mix.describe().c_str());
+    if (cfg.faults.enabled())
+        std::printf("faults: pshift=%g policy=%s chaos=%s retries=%zu "
+                    "backoff=%llu spares=%u\n",
+                    faults.shiftFaultRate,
+                    guardPolicyName(faults.policy), chaos.c_str(),
+                    faults.maxRetries,
+                    static_cast<unsigned long long>(
+                        faults.retryBackoffCycles),
+                    faults.sparesPerChannel);
     ServiceStats stats = runService(cfg);
     std::printf("%s", stats.report().c_str());
     if (cfg.collectMetrics &&
@@ -453,6 +519,11 @@ usage(std::FILE *out)
         "              [--mix read:0.2,bulk:0.5,...] [--batch on|off]\n"
         "              [--process poisson|bursty|closed] [--window 256]\n"
         "              [--queue-cap 64] [--clients 8] [--trd 7]\n"
+        "              [--pshift 0] [--policy per-access|none|per-cpim|\n"
+        "               scrub] [--chaos on|off] [--retries 2]\n"
+        "              [--backoff 64] [--health-window 20000]\n"
+        "              [--breaker-threshold 8] [--cooldown 10000]\n"
+        "              [--trips 3] [--spares 4] [--scrub-interval 4096]\n"
         "  help                                 this text\n\n"
         "observability (ops, campaign, serve):\n"
         "  --metrics-json FILE   per-component counters as JSON\n"
