@@ -5,65 +5,106 @@
  * 1e-6, plus N-modular-redundancy rates — and cross-validates the
  * analytical model with Monte-Carlo fault injection at an elevated
  * rate.
+ *
+ * Emits the same machine-readable JSON schema as the service_* sweeps
+ * (one top-level object, one array of measured-vs-reference points),
+ * so the BENCH trajectory and CI artifacts can diff it structurally.
  */
 
-#include "bench_util.hpp"
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "reliability/error_model.hpp"
 #include "reliability/fault_campaign.hpp"
 
 using namespace coruscant;
 
+namespace {
+
+struct Row
+{
+    std::string section;
+    std::string label;
+    double measured;
+    double paper; ///< < 0 when the paper states no reference value
+};
+
+void
+printRows(const std::vector<Row> &rows)
+{
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::printf("    {\"section\": \"%s\", \"label\": \"%s\", "
+                    "\"measured\": %.6g",
+                    r.section.c_str(), r.label.c_str(), r.measured);
+        if (r.paper > 0)
+            std::printf(", \"paper\": %.6g, \"deviation_pct\": %.2f",
+                        r.paper,
+                        100.0 * (r.measured - r.paper) / r.paper);
+        std::printf("}%s\n", i + 1 == rows.size() ? "" : ",");
+    }
+}
+
+} // namespace
+
 int
 main()
 {
-    bench::header("Table V: operation reliability (p_TR = 1e-6)");
-
     TrErrorModel m3(3), m5(5), m7(7);
 
-    bench::subheader("per-bit error probability");
-    bench::row("AND/OR/C'  C3", m3.perBitOrAndSuperCarry(), 3.3e-7);
-    bench::row("AND/OR/C'  C5", m5.perBitOrAndSuperCarry(), 2.0e-7);
-    bench::row("AND/OR/C'  C7", m7.perBitOrAndSuperCarry(), 1.4e-7);
-    bench::row("XOR        C3", m3.perBitXor(), 1.0e-6);
-    bench::row("XOR        C7", m7.perBitXor(), 1.0e-6);
-    bench::row("C          C3", m3.perBitCarry(), 3.3e-7);
-    bench::row("C          C5", m5.perBitCarry(), 4.0e-7);
-    bench::row("C          C7", m7.perBitCarry(), 4.3e-7);
+    std::vector<Row> rows = {
+        {"per_bit", "and_or_supercarry_c3", m3.perBitOrAndSuperCarry(),
+         3.3e-7},
+        {"per_bit", "and_or_supercarry_c5", m5.perBitOrAndSuperCarry(),
+         2.0e-7},
+        {"per_bit", "and_or_supercarry_c7", m7.perBitOrAndSuperCarry(),
+         1.4e-7},
+        {"per_bit", "xor_c3", m3.perBitXor(), 1.0e-6},
+        {"per_bit", "xor_c7", m7.perBitXor(), 1.0e-6},
+        {"per_bit", "carry_c3", m3.perBitCarry(), 3.3e-7},
+        {"per_bit", "carry_c5", m5.perBitCarry(), 4.0e-7},
+        {"per_bit", "carry_c7", m7.perBitCarry(), 4.3e-7},
+        {"per_op_8bit", "add_c3", m3.addError(8), 8.0e-6},
+        {"per_op_8bit", "add_c7", m7.addError(8), 8.0e-6},
+        {"per_op_8bit", "multiply_c3", m3.multiplyError(8), 4.1e-4},
+        {"per_op_8bit", "multiply_c5", m5.multiplyError(8), 2.1e-4},
+        {"per_op_8bit", "multiply_c7", m7.multiplyError(8), 7.6e-5},
+        {"nmr_8bit_c7", "add_n3", m7.nmrAddError(3, 8), 4.8e-12},
+        {"nmr_8bit_c7", "add_n5", m7.nmrAddError(5, 8), 4.6e-18},
+        {"nmr_8bit_c7", "add_n7", m7.nmrAddError(7, 8), 5.0e-24},
+        {"nmr_8bit_c7", "mult_n3", m7.nmrMultiplyError(3, 8), 4.9e-12},
+        {"nmr_8bit_c7", "mult_n5", m7.nmrMultiplyError(5, 8), 4.7e-18},
+        {"nmr_8bit_c7", "mult_n7", m7.nmrMultiplyError(7, 8), 6.1e-23},
+        {"nmr_8bit_c7", "xor_n3", m7.nmrError(m7.perBitXor(), 3, 8),
+         8.7e-14},
+        {"nmr_8bit_c7", "and_n3",
+         m7.nmrError(m7.perBitOrAndSuperCarry(), 3, 8), 1.8e-15},
+    };
 
-    bench::subheader("per-operation error probability (8-bit)");
-    bench::row("add        C3", m3.addError(8), 8.0e-6);
-    bench::row("add        C7", m7.addError(8), 8.0e-6);
-    bench::row("multiply   C3", m3.multiplyError(8), 4.1e-4);
-    bench::row("multiply   C5", m5.multiplyError(8), 2.1e-4);
-    bench::row("multiply   C7", m7.multiplyError(8), 7.6e-5);
-
-    bench::subheader("N-modular redundancy (8-bit, C7 device)");
-    bench::row("add  N=3", m7.nmrAddError(3, 8), 4.8e-12);
-    bench::row("add  N=5", m7.nmrAddError(5, 8), 4.6e-18);
-    bench::row("add  N=7", m7.nmrAddError(7, 8), 5.0e-24);
-    bench::row("mult N=3", m7.nmrMultiplyError(3, 8), 4.9e-12);
-    bench::row("mult N=5", m7.nmrMultiplyError(5, 8), 4.7e-18);
-    bench::row("mult N=7", m7.nmrMultiplyError(7, 8), 6.1e-23);
-    bench::row("XOR  N=3 (per 8-bit)",
-               m7.nmrError(m7.perBitXor(), 3, 8), 8.7e-14);
-    bench::row("AND  N=3 (per 8-bit)",
-               m7.nmrError(m7.perBitOrAndSuperCarry(), 3, 8), 1.8e-15);
-
-    bench::subheader(
-        "Monte-Carlo cross-validation (elevated p_TR = 1e-3)");
+    // Monte-Carlo cross-validation at an elevated rate: the reference
+    // for each empirical rate is the analytical model at that rate.
     auto add = FaultCampaign::addCampaign(7, 8, 1e-3, 50000, 42);
-    bench::row("add empirical rate", add.empiricalRate(),
-               add.analyticalRate);
-    auto xor_c = FaultCampaign::bulkCampaign(BulkOp::Xor, 7, 4, 1e-3,
-                                             10000, 42);
-    bench::row("XOR per-bit empirical rate", xor_c.empiricalRate(),
-               xor_c.analyticalRate);
-    auto or_c = FaultCampaign::bulkCampaign(BulkOp::Or, 7, 4, 1e-3,
-                                            10000, 42);
-    bench::row("OR per-bit empirical rate", or_c.empiricalRate(),
-               or_c.analyticalRate);
+    rows.push_back({"cross_validation_p1e-3", "add_empirical",
+                    add.empiricalRate(), add.analyticalRate});
+    auto xor_c =
+        FaultCampaign::bulkCampaign(BulkOp::Xor, 7, 4, 1e-3, 10000, 42);
+    rows.push_back({"cross_validation_p1e-3", "xor_per_bit_empirical",
+                    xor_c.empiricalRate(), xor_c.analyticalRate});
+    auto or_c =
+        FaultCampaign::bulkCampaign(BulkOp::Or, 7, 4, 1e-3, 10000, 42);
+    rows.push_back({"cross_validation_p1e-3", "or_per_bit_empirical",
+                    or_c.empiricalRate(), or_c.analyticalRate});
     auto mul = FaultCampaign::multiplyCampaign(7, 8, 1e-4, 20000, 42);
-    bench::row("multiply empirical rate", mul.empiricalRate(),
-               mul.analyticalRate);
+    rows.push_back({"cross_validation_p1e-4", "multiply_empirical",
+                    mul.empiricalRate(), mul.analyticalRate});
+
+    std::printf("{\n");
+    std::printf("  \"bench\": \"table5_reliability\",\n"
+                "  \"config\": {\"p_tr\": 1e-6, "
+                "\"cross_validation_trials\": 50000},\n");
+    std::printf("  \"rows\": [\n");
+    printRows(rows);
+    std::printf("  ]\n}\n");
     return 0;
 }

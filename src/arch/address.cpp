@@ -16,6 +16,16 @@ guardPolicyName(GuardPolicy policy)
     return "?";
 }
 
+const char *
+eccModeName(EccMode mode)
+{
+    switch (mode) {
+      case EccMode::None: return "none";
+      case EccMode::Secded: return "secded";
+    }
+    return "?";
+}
+
 LineAddress
 AddressMap::decode(std::uint64_t byte_addr) const
 {

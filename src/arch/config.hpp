@@ -48,6 +48,22 @@ enum class GuardPolicy
 
 const char *guardPolicyName(GuardPolicy policy);
 
+/**
+ * In-memory ECC protecting the *contents* of stored lines (the guard
+ * policies above protect their *position*).  Secded stores extended
+ * Hamming check bits in dedicated check-lane nanowires of each DBC and
+ * corrects/detects on every port read; it cannot cover in-situ PIM
+ * ops, which sense raw operand lanes — those fall back to NMR voting
+ * (see ReliabilityConfig::pimNmr).
+ */
+enum class EccMode
+{
+    None,   ///< stored bits are returned as-is
+    Secded, ///< per-word SECDED over every line read/write
+};
+
+const char *eccModeName(EccMode mode);
+
 /** Shift-fault injection and guarded-execution configuration. */
 struct ReliabilityConfig
 {
@@ -94,7 +110,40 @@ struct ReliabilityConfig
     /** Spare DBCs available for remapping retired clusters. */
     std::size_t spareDbcs = 64;
 
+    /** Per-bit transient data-flip probability per line access. */
+    double dataFaultRate = 0.0;
+
+    /** Fraction of domains manufactured stuck-at. */
+    double stuckAtFraction = 0.0;
+
+    /** Per-bit per-cycle retention decay rate. */
+    double retentionRatePerCycle = 0.0;
+
+    /** RNG seed for the data-fault injector. */
+    std::uint64_t dataFaultSeed = 1;
+
+    /** Content protection for stored lines. */
+    EccMode eccMode = EccMode::None;
+
+    /** Protected word width for EccMode::Secded ((72,64) default). */
+    std::size_t eccWordBits = 64;
+
+    /**
+     * NMR replication factor for PIM ops when data faults are enabled
+     * (ECC cannot cover in-situ compute).  1 = no voting.
+     */
+    std::size_t pimNmr = 1;
+
     bool guarded() const { return guardPolicy != GuardPolicy::None; }
+
+    bool
+    dataFaultsEnabled() const
+    {
+        return dataFaultRate > 0.0 || stuckAtFraction > 0.0 ||
+               retentionRatePerCycle > 0.0;
+    }
+
+    bool eccEnabled() const { return eccMode != EccMode::None; }
 };
 
 /** Geometry and interface of the CORUSCANT main memory. */

@@ -12,9 +12,17 @@ DwmMainMemory::DwmMainMemory(const MemoryConfig &config)
 {
     cfg.device.validate();
     const ReliabilityConfig &rel = cfg.reliability;
+    if (rel.eccEnabled()) {
+        // Check-bit lanes are extra nanowires of the same DBC: they
+        // shift with the data under the shared controller signal and
+        // come back in the same port access as the line they protect.
+        ecc.emplace(cfg.device.wiresPerDbc, rel.eccWordBits);
+        eccLanes = ecc->checkLanes();
+        dbcParams.wiresPerDbc += eccLanes;
+    }
     if (rel.guarded()) {
         // One extra nanowire per DBC carries the alignment-guard ramp
-        // pattern; the 512 data wires stay fully usable.
+        // pattern; the data and check lanes stay fully usable.
         dbcParams.wiresPerDbc += 1;
         guard.emplace(dbcParams, dbcParams.wiresPerDbc - 1);
     }
@@ -22,6 +30,14 @@ DwmMainMemory::DwmMainMemory(const MemoryConfig &config)
         shiftInjector = std::make_unique<ShiftFaultModel>(
             rel.shiftFaultRate, rel.shiftFaultSeed,
             rel.overShiftFraction);
+    }
+    if (rel.dataFaultsEnabled()) {
+        DataFaultConfig dfc;
+        dfc.transientFlipRate = rel.dataFaultRate;
+        dfc.stuckAtFraction = rel.stuckAtFraction;
+        dfc.retentionRatePerCycle = rel.retentionRatePerCycle;
+        dfc.seed = rel.dataFaultSeed;
+        dataInjector = std::make_unique<DataFaultModel>(dfc);
     }
 }
 
@@ -33,6 +49,7 @@ DwmMainMemory::attachObs(obs::MetricsRegistry &reg, obs::TraceSink *trace,
     dbcMetrics = &reg.component("memory/dbc");
     pimMetrics = &reg.component("memory/pim");
     guardMetrics = &reg.component("guard");
+    eccMetrics = &reg.component("ecc");
     traceSink = trace;
     tracePid = pid;
     for (auto &[id, state] : dbcs)
@@ -52,6 +69,13 @@ DwmMainMemory::materialize(std::uint64_t physical_id,
                   .first;
     MemDbc &state = *it->second;
     state.logicalId = logical_id;
+    state.physicalId = physical_id;
+    if (dataInjector &&
+        dataInjector->config().retentionRatePerCycle > 0.0) {
+        // The retention clock starts when the cluster first holds data.
+        state.rowRefreshCycle.assign(cfg.device.domainsPerWire,
+                                     costs.cycles());
+    }
     if (guard)
         guard->install(state.dbc);
     if (shiftInjector)
@@ -213,10 +237,16 @@ DwmMainMemory::tickAccess()
 {
     ++accesses;
     const ReliabilityConfig &rel = cfg.reliability;
-    if (rel.guardPolicy == GuardPolicy::PeriodicScrub &&
-        rel.scrubInterval > 0 && accesses % rel.scrubInterval == 0) {
+    bool scrub_tick =
+        rel.scrubInterval > 0 && accesses % rel.scrubInterval == 0;
+    if (rel.guardPolicy == GuardPolicy::PeriodicScrub && scrub_tick)
         scrubAll();
-    }
+    // Retention decay accumulates silently between touches; with ECC
+    // on, the same cadence sweeps stored lines so single-bit decay is
+    // rewritten before a second flip turns the word into a DUE.
+    if (scrub_tick && ecc && dataInjector &&
+        dataInjector->config().retentionRatePerCycle > 0.0)
+        scrubEcc();
 }
 
 GuardReport
@@ -265,6 +295,92 @@ DwmMainMemory::scrubAll()
     return report;
 }
 
+EccScrubReport
+DwmMainMemory::scrubEcc()
+{
+    EccScrubReport report;
+    if (!ecc)
+        return report;
+    std::uint64_t scrub_start = costs.cycles();
+    std::size_t data_wires = cfg.device.wiresPerDbc;
+    std::size_t payload_wires = data_wires + eccLanes;
+    const ReliabilityConfig &rel = cfg.reliability;
+    // unordered_map order is not deterministic; sweep sorted so runs
+    // with a fixed seed are bit-identical.
+    std::vector<std::uint64_t> ids;
+    ids.reserve(dbcs.size());
+    for (const auto &[id, _] : dbcs)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (std::uint64_t id : ids) {
+        auto it = dbcs.find(id);
+        if (it == dbcs.end())
+            continue; // retired earlier in this sweep
+        MemDbc &state = *it->second;
+        std::size_t rows = cfg.device.domainsPerWire;
+        std::size_t rewritten = 0;
+        for (std::size_t r = 0; r < rows; ++r) {
+            if (dataInjector)
+                applyRetention(state, r);
+            // The sweep reads via the maintenance path (backdoor):
+            // it sees stored bits, so it cleans persistent faults
+            // (retention) — transient read disturbance and stuck-at
+            // sensing belong to demand reads, not to scrubbing.
+            BitVector stored = state.dbc.peekRow(r);
+            BitVector data = stored.slice(0, data_wires);
+            BitVector check = stored.slice(data_wires, eccLanes);
+            LineSecded::Result res = ecc->correct(data, check);
+            ++report.scannedRows;
+            if (res.correctedWords > 0) {
+                eccCorrections_ += res.correctedWords;
+                if (eccMetrics)
+                    eccMetrics->add(obs::Counter::EccCorrections,
+                                    res.correctedWords);
+                stored.insert(0, data);
+                stored.insert(data_wires, check);
+                state.dbc.pokeRow(r, stored);
+                if (!state.rowRefreshCycle.empty())
+                    state.rowRefreshCycle[r] = costs.cycles();
+                ++report.correctedRows;
+                ++rewritten;
+            }
+            if (res.uncorrectableWords > 0) {
+                eccDue_ += res.uncorrectableWords;
+                state.eccDue += res.uncorrectableWords;
+                if (eccMetrics)
+                    eccMetrics->add(
+                        obs::Counter::EccDetectedUncorrectable,
+                        res.uncorrectableWords);
+                ++report.uncorrectableRows;
+            }
+        }
+        // Sweep cost: every row is sensed, corrected rows rewritten.
+        double sweep_pj =
+            static_cast<double>(rows) *
+                static_cast<double>(payload_wires) *
+                cfg.device.readEnergyPj +
+            static_cast<double>(rewritten) *
+                static_cast<double>(payload_wires) *
+                cfg.device.writeEnergyPj;
+        costs.charge("ecc_scrub",
+                     rows * cfg.device.readCycles +
+                         rewritten * cfg.device.writeCycles,
+                     sweep_pj);
+        if (eccMetrics)
+            eccMetrics->addEnergy(sweep_pj);
+        if (rel.retireThreshold > 0 &&
+            state.eccDue >= rel.retireThreshold)
+            retire(state); // best effort; spares may be exhausted
+    }
+    if (traceSink) {
+        traceSink->span("ecc_scrub", "ecc", scrub_start,
+                        costs.cycles() - scrub_start, tracePid, 0,
+                        "scanned",
+                        static_cast<double>(report.scannedRows));
+    }
+    return report;
+}
+
 DwmMainMemory::MemDbc &
 DwmMainMemory::alignChecked(const LineAddress &loc, unsigned &shifts)
 {
@@ -302,6 +418,8 @@ DwmMainMemory::readLine(std::uint64_t byte_addr)
     tickAccess();
     unsigned shifts = 0;
     MemDbc &state = alignChecked(loc, shifts);
+    if (dataInjector)
+        applyRetention(state, loc.row);
     DomainBlockCluster &dbc = state.dbc;
     double read_pj = static_cast<double>(cfg.device.wiresPerDbc)
                          * cfg.device.readEnergyPj +
@@ -309,6 +427,17 @@ DwmMainMemory::readLine(std::uint64_t byte_addr)
                          * static_cast<double>(cfg.device.wiresPerDbc)
                          * cfg.device.shiftEnergyPj;
     costs.charge("read", cfg.dwmTiming.readCycles(shifts), read_pj);
+    if (eccLanes > 0) {
+        // Check lanes ride the same shift pulses and the same port
+        // access as the data; extra wires, not extra cycles.
+        double ecc_pj =
+            static_cast<double>(eccLanes) *
+            (cfg.device.readEnergyPj +
+             static_cast<double>(shifts) * cfg.device.shiftEnergyPj);
+        costs.charge("ecc", 0, ecc_pj);
+        if (eccMetrics)
+            eccMetrics->addEnergy(ecc_pj);
+    }
     if (memMetrics) {
         memMetrics->add(obs::Counter::Reads);
         memMetrics->add(obs::Counter::Shifts, shifts);
@@ -318,9 +447,104 @@ DwmMainMemory::readLine(std::uint64_t byte_addr)
     Port port = dbc.rowAtPort(Port::Left) == loc.row ? Port::Left
                                                      : Port::Right;
     BitVector row = dbc.readRowAtPort(port);
-    if (guard)
-        return row.slice(0, cfg.device.wiresPerDbc);
-    return row;
+    std::size_t data_wires = cfg.device.wiresPerDbc;
+    if (!dataInjector && !ecc) {
+        if (guard)
+            return row.slice(0, data_wires);
+        return row;
+    }
+    // Data + check lanes as sensed by the port (guard wire excluded:
+    // its ramp bit is the alignment story, not the data story).
+    std::size_t payload_wires = data_wires + eccLanes;
+    BitVector payload = row.size() == payload_wires
+                            ? std::move(row)
+                            : row.slice(0, payload_wires);
+    if (dataInjector) {
+        std::uint64_t injected =
+            dataInjector->applyStuckAt(payload, state.physicalId,
+                                       static_cast<std::uint32_t>(
+                                           loc.row)) +
+            dataInjector->perturbTransient(payload);
+        if (injected > 0) {
+            if (memMetrics)
+                memMetrics->add(obs::Counter::DataFaultsInjected,
+                                injected);
+            if (traceSink)
+                traceSink->instant("data_fault", "ecc",
+                                   costs.cycles(), tracePid, 0);
+        }
+    }
+    if (ecc) {
+        BitVector data = payload.slice(0, data_wires);
+        BitVector check = payload.slice(data_wires, eccLanes);
+        eccDecode(state, loc.row, data, check);
+        return data;
+    }
+    return payload;
+}
+
+void
+DwmMainMemory::applyRetention(MemDbc &state, std::size_t row)
+{
+    if (dataInjector->config().retentionRatePerCycle <= 0.0)
+        return;
+    std::uint64_t now = costs.cycles();
+    std::uint64_t &stamp = state.rowRefreshCycle[row];
+    std::uint64_t elapsed = now > stamp ? now - stamp : 0;
+    stamp = now;
+    if (elapsed == 0)
+        return;
+    // Decay mutates the stored bits (unlike a read disturbance): the
+    // flip persists until a write or an ECC scrub rewrites the row.
+    BitVector stored = state.dbc.peekRow(row);
+    std::size_t payload_wires = cfg.device.wiresPerDbc + eccLanes;
+    BitVector payload = stored.slice(0, payload_wires);
+    std::uint64_t flips = dataInjector->decay(payload, elapsed);
+    if (flips == 0)
+        return;
+    stored.insert(0, payload);
+    state.dbc.pokeRow(row, stored);
+    if (memMetrics)
+        memMetrics->add(obs::Counter::DataFaultsInjected, flips);
+    if (traceSink)
+        traceSink->instant("retention_decay", "ecc", costs.cycles(),
+                           tracePid, 0);
+}
+
+DwmMainMemory::MemDbc &
+DwmMainMemory::eccDecode(MemDbc &state, std::size_t row,
+                         BitVector &data, BitVector &check)
+{
+    (void)row;
+    LineSecded::Result res = ecc->correct(data, check);
+    if (res.correctedWords > 0) {
+        eccCorrections_ += res.correctedWords;
+        if (eccMetrics)
+            eccMetrics->add(obs::Counter::EccCorrections,
+                            res.correctedWords);
+        if (traceSink)
+            traceSink->instant("ecc_correct", "ecc", costs.cycles(),
+                               tracePid, 0);
+    }
+    if (res.uncorrectableWords > 0) {
+        eccDue_ += res.uncorrectableWords;
+        state.eccDue += res.uncorrectableWords;
+        if (eccMetrics)
+            eccMetrics->add(obs::Counter::EccDetectedUncorrectable,
+                            res.uncorrectableWords);
+        if (traceSink)
+            traceSink->instant("ecc_due", "ecc", costs.cycles(),
+                               tracePid, 0);
+        // Repeated DUEs mark a weak cluster: escalate into the same
+        // retirement path the alignment guard uses.
+        const ReliabilityConfig &rel = cfg.reliability;
+        if (rel.retireThreshold > 0 &&
+            state.eccDue >= rel.retireThreshold) {
+            if (MemDbc *fresh = retire(state))
+                return *fresh;
+        }
+    }
+    return state;
 }
 
 void
@@ -339,6 +563,15 @@ DwmMainMemory::writeLine(std::uint64_t byte_addr, const BitVector &data)
                           * static_cast<double>(cfg.device.wiresPerDbc)
                           * cfg.device.shiftEnergyPj;
     costs.charge("write", cfg.dwmTiming.writeCycles(shifts), write_pj);
+    if (eccLanes > 0) {
+        double ecc_pj =
+            static_cast<double>(eccLanes) *
+            (cfg.device.writeEnergyPj +
+             static_cast<double>(shifts) * cfg.device.shiftEnergyPj);
+        costs.charge("ecc", 0, ecc_pj);
+        if (eccMetrics)
+            eccMetrics->addEnergy(ecc_pj);
+    }
     if (memMetrics) {
         memMetrics->add(obs::Counter::Writes);
         memMetrics->add(obs::Counter::Shifts, shifts);
@@ -346,16 +579,39 @@ DwmMainMemory::writeLine(std::uint64_t byte_addr, const BitVector &data)
     }
     Port port = dbc.rowAtPort(Port::Left) == loc.row ? Port::Left
                                                      : Port::Right;
+    if (!guard && !ecc && !dataInjector) {
+        dbc.writeRowAtPort(port, data);
+        return;
+    }
+    BitVector padded(dbcParams.wiresPerDbc);
+    padded.insert(0, data);
+    if (ecc) {
+        // The encoder sees the incoming (correct) data; disturbances
+        // below hit the stored codeword, which is what a read decodes.
+        padded.insert(cfg.device.wiresPerDbc, ecc->encodeCheck(data));
+    }
+    if (dataInjector) {
+        std::size_t payload_wires = cfg.device.wiresPerDbc + eccLanes;
+        BitVector payload = padded.slice(0, payload_wires);
+        std::uint64_t flips = dataInjector->perturbTransient(payload);
+        if (flips > 0) {
+            padded.insert(0, payload);
+            if (memMetrics)
+                memMetrics->add(obs::Counter::DataFaultsInjected,
+                                flips);
+            if (traceSink)
+                traceSink->instant("data_fault", "ecc",
+                                   costs.cycles(), tracePid, 0);
+        }
+        if (dataInjector->config().retentionRatePerCycle > 0.0)
+            state.rowRefreshCycle[loc.row] = costs.cycles();
+    }
     if (guard) {
         // Preserve the guard wire's ramp bit for this row.
-        BitVector padded(dbcParams.wiresPerDbc);
-        padded.insert(0, data);
         padded.set(dbcParams.wiresPerDbc - 1,
                    guard->patternBit(loc.row));
-        dbc.writeRowAtPort(port, padded);
-    } else {
-        dbc.writeRowAtPort(port, data);
     }
+    dbc.writeRowAtPort(port, padded);
 }
 
 void

@@ -30,10 +30,12 @@
 #include "arch/config.hpp"
 #include "core/coruscant_unit.hpp"
 #include "dwm/alignment_guard.hpp"
+#include "dwm/data_fault.hpp"
 #include "dwm/dbc.hpp"
 #include "dwm/shift_fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_sink.hpp"
+#include "reliability/ecc/secded.hpp"
 #include "util/stats.hpp"
 
 namespace coruscant {
@@ -54,6 +56,14 @@ struct ScrubReport
     std::size_t scanned = 0;       ///< DBCs checked
     std::size_t corrected = 0;     ///< DBCs realigned by the sweep
     std::size_t uncorrectable = 0; ///< DBCs left misaligned
+};
+
+/** Outcome of an ECC scrub sweep over stored lines. */
+struct EccScrubReport
+{
+    std::size_t scannedRows = 0;       ///< rows decoded
+    std::size_t correctedRows = 0;     ///< rows corrected + rewritten
+    std::size_t uncorrectableRows = 0; ///< rows with DUE words
 };
 
 /** Sparse, shift-aware DWM main memory with PIM-enabled DBCs. */
@@ -98,6 +108,15 @@ class DwmMainMemory
 
     /** Guard-check every materialized DBC (deterministic order). */
     ScrubReport scrubAll();
+
+    /**
+     * ECC scrub: decode every stored row of every materialized DBC
+     * (after applying pending retention decay) and rewrite the rows
+     * SECDED can still correct, so single-bit retention flips are
+     * cleaned before a second flip makes the word uncorrectable.
+     * A no-op returning zeros when ECC is off.
+     */
+    EccScrubReport scrubEcc();
 
     // --- Observability ---------------------------------------------------
 
@@ -151,6 +170,27 @@ class DwmMainMemory
         return shiftInjector.get();
     }
 
+    /** SECDED words corrected on reads and scrubs. */
+    std::uint64_t eccCorrections() const { return eccCorrections_; }
+
+    /** SECDED words flagged uncorrectable (DUE). */
+    std::uint64_t eccDetectedUncorrectable() const { return eccDue_; }
+
+    /** Data-domain faults injected into this memory so far. */
+    std::uint64_t
+    injectedDataFaults() const
+    {
+        return dataInjector ? dataInjector->injectedFaults() : 0;
+    }
+
+    const DataFaultModel *dataFaultInjector() const
+    {
+        return dataInjector.get();
+    }
+
+    /** Check-bit lanes added to each DBC by the active ECC mode. */
+    std::size_t eccCheckLanes() const { return eccLanes; }
+
     // --- Test / campaign backdoors --------------------------------------
 
     /** Physically misalign the DBC holding @p byte_addr by one step. */
@@ -187,8 +227,12 @@ class DwmMainMemory
     {
         explicit MemDbc(const DeviceParams &params) : dbc(params) {}
         DomainBlockCluster dbc;
-        std::uint64_t logicalId = 0; ///< pre-remap dbcId
-        std::uint64_t corrected = 0; ///< corrective pulses applied here
+        std::uint64_t logicalId = 0;  ///< pre-remap dbcId
+        std::uint64_t physicalId = 0; ///< sparse-storage key (defect map)
+        std::uint64_t corrected = 0;  ///< corrective pulses applied here
+        std::uint64_t eccDue = 0;     ///< DUE words observed here
+        /** Ledger cycle of each row's last write/scrub (retention). */
+        std::vector<std::uint64_t> rowRefreshCycle;
     };
 
     MemDbc &dbcFor(const LineAddress &loc);
@@ -217,11 +261,29 @@ class DwmMainMemory
     /** Migrate @p state to a spare DBC; returns the replacement. */
     MemDbc *retire(MemDbc &state);
 
+    /**
+     * Materialize pending retention decay on @p state's row @p row
+     * (flips applied to the stored bits) and stamp it refreshed.
+     */
+    void applyRetention(MemDbc &state, std::size_t row);
+
+    /**
+     * SECDED-decode the payload read back from @p state's row: correct
+     * @p data (width wiresPerDbc) against @p check in place, account
+     * counters/energy, and escalate repeated DUEs into retirement.
+     * Returns the state serving the logical DBC afterwards.
+     */
+    MemDbc &eccDecode(MemDbc &state, std::size_t row, BitVector &data,
+                      BitVector &check);
+
     MemoryConfig cfg;
     AddressMap amap;
-    DeviceParams dbcParams; ///< cfg.device plus the guard wire, if any
+    DeviceParams dbcParams; ///< cfg.device plus check/guard lanes
     std::optional<AlignmentGuard> guard;
+    std::optional<LineSecded> ecc;
+    std::size_t eccLanes = 0;
     std::unique_ptr<ShiftFaultModel> shiftInjector;
+    std::unique_ptr<DataFaultModel> dataInjector;
     std::unordered_map<std::uint64_t, std::unique_ptr<MemDbc>> dbcs;
     std::unordered_map<std::uint64_t, std::uint64_t> remap; ///< logical->physical
     std::unordered_map<std::uint64_t, std::unique_ptr<CoruscantUnit>>
@@ -231,6 +293,7 @@ class DwmMainMemory
     obs::ComponentMetrics *dbcMetrics = nullptr;   ///< non-owning
     obs::ComponentMetrics *pimMetrics = nullptr;   ///< non-owning
     obs::ComponentMetrics *guardMetrics = nullptr; ///< non-owning
+    obs::ComponentMetrics *eccMetrics = nullptr;   ///< non-owning
     obs::TraceSink *traceSink = nullptr;           ///< non-owning
     std::uint32_t tracePid = 0;
     std::uint64_t shiftSteps = 0;
@@ -241,6 +304,8 @@ class DwmMainMemory
     std::uint64_t uncorrectable_ = 0;
     std::size_t sparesUsed = 0;
     std::uint64_t retireFailures = 0;
+    std::uint64_t eccCorrections_ = 0;
+    std::uint64_t eccDue_ = 0;
 };
 
 } // namespace coruscant

@@ -44,7 +44,7 @@ MemoryController::operandAddress(std::uint64_t src, std::size_t i) const
 }
 
 BitVector
-MemoryController::computeOnce(const CpimInstruction &inst)
+MemoryController::computeResult(const CpimInstruction &inst)
 {
     LineAddress src = mem.addressMap().decode(inst.src);
     CoruscantUnit &unit = mem.pimUnit(src.bank, src.subarray);
@@ -105,6 +105,32 @@ MemoryController::computeOnce(const CpimInstruction &inst)
         break;
     }
 
+    return result;
+}
+
+BitVector
+MemoryController::computeOnce(const CpimInstruction &inst)
+{
+    const ReliabilityConfig &rel = mem.config().reliability;
+    // ECC protects lines crossing the port, but in-situ compute senses
+    // raw operand lanes with transverse reads — check bits mean
+    // nothing to a TR.  When data faults are live, PIM ops fall back
+    // to whole-op N-modular redundancy (paper Sec. III-F): each
+    // replica re-reads its operands (re-sampling any transient
+    // disturbance) and the unit majority-votes the replica rows.
+    bool nmr = rel.pimNmr > 1 && rel.dataFaultsEnabled() &&
+               inst.op != CpimOp::Copy;
+    BitVector result;
+    if (nmr) {
+        fatalIf(rel.pimNmr != 3 && rel.pimNmr != 5 && rel.pimNmr != 7,
+                "pimNmr must be 1, 3, 5, or 7 (got ", rel.pimNmr, ")");
+        LineAddress src = mem.addressMap().decode(inst.src);
+        CoruscantUnit &unit = mem.pimUnit(src.bank, src.subarray);
+        result = unit.nmrExecute(rel.pimNmr,
+                                 [&] { return computeResult(inst); });
+    } else {
+        result = computeResult(inst);
+    }
     mem.writeLine(inst.dst, result);
     return result;
 }
@@ -126,14 +152,18 @@ MemoryController::executeGuarded(const CpimInstruction &inst)
         std::uint64_t due_before = mem.uncorrectableEvents();
         std::uint64_t fix_before = mem.correctedMisalignments();
         std::uint64_t exhausted_before = mem.retirementFailures();
+        std::uint64_t ecc_due_before = mem.eccDetectedUncorrectable();
+        std::uint64_t ecc_fix_before = mem.eccCorrections();
         report.result = computeOnce(inst);
         if (mem.retirementFailures() > exhausted_before) {
             report.outcome = ExecOutcome::SparesExhausted;
             ++spareExhaustedCount;
-        } else if (mem.uncorrectableEvents() > due_before) {
+        } else if (mem.uncorrectableEvents() > due_before ||
+                   mem.eccDetectedUncorrectable() > ecc_due_before) {
             report.outcome = ExecOutcome::Uncorrectable;
             ++uncorrectableCount;
-        } else if (mem.correctedMisalignments() > fix_before) {
+        } else if (mem.correctedMisalignments() > fix_before ||
+                   mem.eccCorrections() > ecc_fix_before) {
             report.outcome = ExecOutcome::Corrected;
         }
         noteExecution(inst, report, cycles_before);
@@ -158,6 +188,8 @@ MemoryController::executeGuarded(const CpimInstruction &inst)
     // reads or the result write, so re-read and recompute — after an
     // exponentially growing backoff wait when one is configured.
     for (unsigned attempt = 0;; ++attempt) {
+        std::uint64_t ecc_due_before = mem.eccDetectedUncorrectable();
+        std::uint64_t ecc_fix_before = mem.eccCorrections();
         report.result = computeOnce(inst);
         GuardReport post_src = mem.checkLine(inst.src);
         GuardReport post_dst = mem.checkLine(inst.dst);
@@ -167,11 +199,23 @@ MemoryController::executeGuarded(const CpimInstruction &inst)
             post_src.sparesExhausted || post_dst.sparesExhausted;
         if (uncorrectable)
             break;
-        if (!post_src.misaligned && !post_dst.misaligned)
-            break; // executed against aligned clusters end to end
-        corrected = true;
-        if (attempt >= rel.maxRetries)
-            break; // ladder exhausted; keep the last (suspect) result
+        corrected |= mem.eccCorrections() > ecc_fix_before;
+        // An ECC DUE during this attempt means an operand or the
+        // result crossed the port unprotected; like a mid-instruction
+        // misalignment it warrants a re-execution — transient flips
+        // re-sample clean, and only persistent damage survives the
+        // ladder to become a DUE.
+        bool ecc_due =
+            mem.eccDetectedUncorrectable() > ecc_due_before;
+        if (!post_src.misaligned && !post_dst.misaligned && !ecc_due)
+            break; // executed against healthy clusters end to end
+        corrected |= post_src.misaligned || post_dst.misaligned;
+        if (attempt >= rel.maxRetries) {
+            // Ladder exhausted; keep the last (suspect) result.  A
+            // still-uncorrectable ECC word is a DUE, not a retry.
+            uncorrectable |= ecc_due;
+            break;
+        }
         mem.chargeRetryBackoff(rel.retryBackoffCycles << attempt);
         ++report.retries;
     }

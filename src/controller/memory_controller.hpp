@@ -117,6 +117,14 @@ class MemoryController
     }
 
   private:
+    /** Read operands and compute; no result write, no NMR. */
+    BitVector computeResult(const CpimInstruction &inst);
+
+    /**
+     * One full execution: compute (replicated + voted when
+     * ReliabilityConfig::pimNmr routes PIM ops through NMR under data
+     * faults) and write the result row.
+     */
     BitVector computeOnce(const CpimInstruction &inst);
 
     /** Record counters and the instruction span after an execution. */

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Data-domain fault injection.
+ *
+ * ShiftFaultModel perturbs *positions*; this model perturbs the
+ * *contents* of the domains themselves, covering the three data
+ * failure modes of DWM storage:
+ *
+ *  - transient flips: a read/write/shift disturbs a domain and its
+ *    read-back value flips (soft error, per-bit Bernoulli);
+ *  - stuck-at domains: a manufacturing-weak domain always senses the
+ *    same value regardless of what was written.  Sites are a fixed,
+ *    sticky property of the array — derived from a stateless hash of
+ *    (seed, dbc, row, wire) so the same seed yields the same defect
+ *    map in every run and at every thread count;
+ *  - retention decay: a stored domain loses its value over time with
+ *    per-cycle rate lambda, so a row untouched for t cycles sees each
+ *    bit flip with p = 1 - exp(-lambda * t).
+ *
+ * Transient and retention sampling use a sequential SplitMix64 stream
+ * (same discipline as ShiftFaultModel): one model per channel/memory,
+ * seeded from the run seed, with per-bit probabilities realized by
+ * geometric gap sampling so a disabled or low-rate model costs O(flips)
+ * instead of O(bits).
+ *
+ * Matching repair mechanisms: SECDED ECC (reliability/ecc) for port
+ * reads, NMR voting for in-situ PIM, scrubbing for retention.
+ */
+
+#ifndef CORUSCANT_DWM_DATA_FAULT_HPP
+#define CORUSCANT_DWM_DATA_FAULT_HPP
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/bit_vector.hpp"
+#include "util/rng.hpp"
+
+namespace coruscant {
+
+/** Knobs for the data-domain fault model. */
+struct DataFaultConfig
+{
+    /** Per-bit transient flip probability per line access. */
+    double transientFlipRate = 0.0;
+    /** Fraction of domains manufactured stuck-at (sticky sites). */
+    double stuckAtFraction = 0.0;
+    /** Per-bit per-cycle retention decay rate lambda. */
+    double retentionRatePerCycle = 0.0;
+    /** Seed; same seed => same fault sites at any thread count. */
+    std::uint64_t seed = 0x00d47afau;
+
+    bool
+    enabled() const
+    {
+        return transientFlipRate > 0.0 || stuckAtFraction > 0.0 ||
+               retentionRatePerCycle > 0.0;
+    }
+};
+
+/**
+ * Injects data-domain faults into rows as they move through the
+ * memory.  A default-constructed (all-zero-rate) model is inert.
+ */
+class DataFaultModel
+{
+  public:
+    DataFaultModel() = default;
+
+    explicit DataFaultModel(const DataFaultConfig &cfg)
+        : cfg_(cfg), rng_(cfg.seed)
+    {}
+
+    bool enabled() const { return cfg_.enabled(); }
+    const DataFaultConfig &config() const { return cfg_; }
+
+    /**
+     * Transient disturbance of one accessed row: flips each bit with
+     * transientFlipRate.  Returns the number of flips.
+     */
+    std::uint64_t
+    perturbTransient(BitVector &row)
+    {
+        std::uint64_t flips =
+            flipBernoulli(row, cfg_.transientFlipRate);
+        transientFlips_ += flips;
+        return flips;
+    }
+
+    /**
+     * Force the sticky stuck-at sites of (@p dbc_id, @p row_index)
+     * onto @p row.  Site membership and stuck polarity come from a
+     * stateless hash, so the defect map never depends on access order.
+     * Returns the number of bits the defects actually changed.
+     */
+    std::uint64_t
+    applyStuckAt(BitVector &row, std::uint64_t dbc_id,
+                 std::uint32_t row_index)
+    {
+        if (cfg_.stuckAtFraction <= 0.0)
+            return 0;
+        std::uint64_t changed = 0;
+        for (std::size_t wire = 0; wire < row.size(); ++wire) {
+            std::uint64_t h = siteHash(dbc_id, row_index, wire);
+            // Low 53 bits -> uniform [0,1) site draw; bit 63 is the
+            // independent stuck polarity.
+            double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+            if (u >= cfg_.stuckAtFraction)
+                continue;
+            bool stuckValue = (h >> 63) != 0;
+            if (row.get(wire) != stuckValue) {
+                row.set(wire, stuckValue);
+                ++changed;
+            }
+        }
+        stuckAtActivations_ += changed;
+        return changed;
+    }
+
+    /** Whether any site of (@p dbc_id, @p row_index) is stuck-at. */
+    bool
+    hasStuckSite(std::uint64_t dbc_id, std::uint32_t row_index,
+                 std::size_t wires) const
+    {
+        if (cfg_.stuckAtFraction <= 0.0)
+            return false;
+        for (std::size_t wire = 0; wire < wires; ++wire) {
+            std::uint64_t h = siteHash(dbc_id, row_index, wire);
+            double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+            if (u < cfg_.stuckAtFraction)
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * Retention decay of a stored row untouched for @p elapsed_cycles:
+     * each bit flips with p = 1 - exp(-lambda * t).  Returns flips.
+     */
+    std::uint64_t
+    decay(BitVector &row, std::uint64_t elapsed_cycles)
+    {
+        if (cfg_.retentionRatePerCycle <= 0.0 || elapsed_cycles == 0)
+            return 0;
+        double p = 1.0 - std::exp(-cfg_.retentionRatePerCycle *
+                                  static_cast<double>(elapsed_cycles));
+        std::uint64_t flips = flipBernoulli(row, p);
+        retentionFlips_ += flips;
+        return flips;
+    }
+
+    /** Per-bit flip probability after @p elapsed_cycles unrefreshed. */
+    double
+    retentionFlipProbability(std::uint64_t elapsed_cycles) const
+    {
+        if (cfg_.retentionRatePerCycle <= 0.0 || elapsed_cycles == 0)
+            return 0.0;
+        return 1.0 - std::exp(-cfg_.retentionRatePerCycle *
+                              static_cast<double>(elapsed_cycles));
+    }
+
+    std::uint64_t transientFlips() const { return transientFlips_; }
+    std::uint64_t stuckAtActivations() const
+    {
+        return stuckAtActivations_;
+    }
+    std::uint64_t retentionFlips() const { return retentionFlips_; }
+
+    /** All data faults injected so far. */
+    std::uint64_t
+    injectedFaults() const
+    {
+        return transientFlips_ + stuckAtActivations_ +
+               retentionFlips_;
+    }
+
+    /**
+     * Change the transient rate mid-stream (chaos ramps).  The RNG
+     * stream is untouched, so runs stay reproducible for a fixed seed.
+     */
+    void setTransientRate(double p) { cfg_.transientFlipRate = p; }
+
+  private:
+    /**
+     * Flip each bit of @p row independently with probability @p p via
+     * geometric gap sampling: O(expected flips), not O(bits).
+     */
+    std::uint64_t
+    flipBernoulli(BitVector &row, double p)
+    {
+        if (p <= 0.0 || row.size() == 0)
+            return 0;
+        if (p >= 1.0) {
+            for (std::size_t i = 0; i < row.size(); ++i)
+                row.set(i, !row.get(i));
+            return row.size();
+        }
+        std::uint64_t flips = 0;
+        double logq = std::log1p(-p);
+        std::size_t idx = 0;
+        while (true) {
+            double u = rng_.nextDouble();
+            // Gap to the next success of a Bernoulli(p) run.
+            double gap = std::floor(std::log1p(-u) / logq);
+            if (gap >= static_cast<double>(row.size() - idx))
+                break;
+            idx += static_cast<std::size_t>(gap);
+            row.set(idx, !row.get(idx));
+            ++flips;
+            ++idx;
+            if (idx >= row.size())
+                break;
+        }
+        return flips;
+    }
+
+    /** Stateless per-site hash (SplitMix64 finalizer over the key). */
+    std::uint64_t
+    siteHash(std::uint64_t dbc_id, std::uint32_t row_index,
+             std::size_t wire) const
+    {
+        std::uint64_t z = cfg_.seed ^
+                          (dbc_id * 0x9e3779b97f4a7c15ULL) ^
+                          ((static_cast<std::uint64_t>(row_index)
+                            << 32) |
+                           static_cast<std::uint64_t>(wire));
+        z += 0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    DataFaultConfig cfg_;
+    Rng rng_;
+    std::uint64_t transientFlips_ = 0;
+    std::uint64_t stuckAtActivations_ = 0;
+    std::uint64_t retentionFlips_ = 0;
+};
+
+} // namespace coruscant
+
+#endif // CORUSCANT_DWM_DATA_FAULT_HPP

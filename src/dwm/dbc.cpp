@@ -36,6 +36,8 @@ DomainBlockCluster::perturbShift(bool toward_left)
 {
     ShiftOutcome outcome =
         shiftFaults ? shiftFaults->sample() : ShiftOutcome::Normal;
+    if (outcome != ShiftOutcome::Normal)
+        note(obs::Counter::FaultsInjected);
     // The bookkeeping (offset) always advances by one; what the pulse
     // physically did depends on the outcome.
     if (outcome != ShiftOutcome::UnderShift)
@@ -159,8 +161,12 @@ DomainBlockCluster::transverseReadWire(std::size_t wire,
     std::size_t count = 0;
     for (std::size_t i = lo; i <= hi; ++i)
         count += physRows[i].get(wire) ? 1 : 0;
-    if (faults)
-        return faults->perturb(count, dev.trd);
+    if (faults) {
+        std::size_t observed = faults->perturb(count, dev.trd);
+        if (observed != count)
+            note(obs::Counter::FaultsInjected);
+        return observed;
+    }
     return count;
 }
 
@@ -177,8 +183,13 @@ DomainBlockCluster::transverseReadAll(TrFaultModel *faults) const
             counts[w] += row.get(w) ? 1 : 0;
     }
     if (faults) {
-        for (auto &c : counts)
-            c = static_cast<std::uint8_t>(faults->perturb(c, dev.trd));
+        for (auto &c : counts) {
+            auto observed =
+                static_cast<std::uint8_t>(faults->perturb(c, dev.trd));
+            if (observed != c)
+                note(obs::Counter::FaultsInjected);
+            c = observed;
+        }
     }
     return counts;
 }

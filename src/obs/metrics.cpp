@@ -33,6 +33,14 @@ counterName(Counter c)
         return "breaker_trips";
     case Counter::Retirements:
         return "retirements";
+    case Counter::FaultsInjected:
+        return "faults_injected";
+    case Counter::DataFaultsInjected:
+        return "data_faults_injected";
+    case Counter::EccCorrections:
+        return "ecc_corrections";
+    case Counter::EccDetectedUncorrectable:
+        return "ecc_detected_uncorrectable";
     }
     return "?";
 }

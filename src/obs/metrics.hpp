@@ -48,9 +48,13 @@ enum class Counter : std::uint8_t
     Gangs,                ///< TR gangs dispatched
     BreakerTrips,         ///< DBC-health circuit-breaker openings
     Retirements,          ///< DBC groups retired to spares
+    FaultsInjected,       ///< shift/TR faults injected by the models
+    DataFaultsInjected,   ///< data-domain bit faults injected
+    EccCorrections,       ///< SECDED single-bit words corrected
+    EccDetectedUncorrectable, ///< SECDED double-bit words (DUE)
 };
 
-inline constexpr std::size_t kCounterKinds = 11;
+inline constexpr std::size_t kCounterKinds = 15;
 
 /** Stable JSON key for @p c. */
 const char *counterName(Counter c);

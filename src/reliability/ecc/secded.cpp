@@ -1,0 +1,190 @@
+#include "reliability/ecc/secded.hpp"
+
+#include <cassert>
+
+namespace coruscant {
+
+namespace {
+
+bool
+isPowerOfTwo(std::size_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+SecdedCode::SecdedCode(std::size_t data_bits) : dataBits_(data_bits)
+{
+    assert(data_bits >= 1);
+    // Smallest r with 2^r >= data + r + 1 (positions 1..data+r, the
+    // power-of-two ones reserved for checks).
+    hammingBits_ = 0;
+    while ((std::size_t{1} << hammingBits_) <
+           data_bits + hammingBits_ + 1)
+        ++hammingBits_;
+
+    // Map flat data index -> 1-based codeword position (skipping the
+    // power-of-two check positions) and the inverse map position ->
+    // flat codeword index in our [data | checks | parity] layout.
+    std::size_t totalPositions = data_bits + hammingBits_;
+    posToFlat_.assign(totalPositions + 1, 0);
+    dataPos_.reserve(data_bits);
+    std::size_t nextData = 0;
+    std::size_t nextCheck = 0;
+    for (std::size_t pos = 1; pos <= totalPositions; ++pos) {
+        if (isPowerOfTwo(pos)) {
+            posToFlat_[pos] = data_bits + nextCheck++;
+        } else {
+            posToFlat_[pos] = nextData;
+            dataPos_.push_back(pos);
+            ++nextData;
+        }
+    }
+    assert(nextData == data_bits && nextCheck == hammingBits_);
+}
+
+BitVector
+SecdedCode::checkBitsFor(const BitVector &data) const
+{
+    assert(data.size() == dataBits_);
+    // Syndrome-style accumulation: XOR the positions of all set data
+    // bits; bit k of the result is check bit 2^k before the check
+    // bits themselves are folded in — which is exactly the value each
+    // check bit must take to zero the fault-free syndrome.
+    std::size_t acc = 0;
+    std::size_t ones = 0;
+    for (std::size_t i = 0; i < dataBits_; ++i) {
+        if (data.get(i)) {
+            acc ^= dataPos_[i];
+            ++ones;
+        }
+    }
+    BitVector check(hammingBits_ + 1);
+    std::size_t checkOnes = 0;
+    for (std::size_t k = 0; k < hammingBits_; ++k) {
+        bool bit = (acc >> k) & 1u;
+        check.set(k, bit);
+        checkOnes += bit ? 1 : 0;
+    }
+    // Overall parity covers data + hamming checks + itself -> even.
+    check.set(hammingBits_, ((ones + checkOnes) & 1u) != 0);
+    return check;
+}
+
+BitVector
+SecdedCode::encode(const BitVector &data) const
+{
+    BitVector code(codeBits());
+    for (std::size_t i = 0; i < dataBits_; ++i)
+        code.set(i, data.get(i));
+    BitVector check = checkBitsFor(data);
+    for (std::size_t k = 0; k < check.size(); ++k)
+        code.set(dataBits_ + k, check.get(k));
+    return code;
+}
+
+SecdedCode::Decoded
+SecdedCode::decode(BitVector &data, BitVector &check) const
+{
+    assert(data.size() == dataBits_);
+    assert(check.size() == checkBits());
+
+    std::size_t syndrome = 0;
+    std::size_t ones = 0;
+    for (std::size_t i = 0; i < dataBits_; ++i) {
+        if (data.get(i)) {
+            syndrome ^= dataPos_[i];
+            ++ones;
+        }
+    }
+    for (std::size_t k = 0; k < hammingBits_; ++k) {
+        if (check.get(k)) {
+            syndrome ^= std::size_t{1} << k;
+            ++ones;
+        }
+    }
+    bool parityOdd =
+        ((ones + (check.get(hammingBits_) ? 1 : 0)) & 1u) != 0;
+
+    Decoded out;
+    if (syndrome == 0 && !parityOdd)
+        return out; // clean
+
+    if (!parityOdd) {
+        // Non-zero syndrome with even overall parity: an even number
+        // of flips (>= 2).  Report, never touch the word.
+        out.status = EccStatus::Uncorrectable;
+        return out;
+    }
+    if (syndrome == 0) {
+        // Only the overall parity bit flipped.
+        check.set(hammingBits_, !check.get(hammingBits_));
+        out.status = EccStatus::Corrected;
+        out.correctedBit = dataBits_ + hammingBits_;
+        return out;
+    }
+    if (syndrome >= posToFlat_.size()) {
+        // Syndrome points outside the codeword: only reachable with
+        // multiple flips whose positions XOR past the end.
+        out.status = EccStatus::Uncorrectable;
+        return out;
+    }
+    std::size_t flat = posToFlat_[syndrome];
+    if (flat < dataBits_)
+        data.set(flat, !data.get(flat));
+    else
+        check.set(flat - dataBits_, !check.get(flat - dataBits_));
+    out.status = EccStatus::Corrected;
+    out.correctedBit = flat;
+    return out;
+}
+
+LineSecded::LineSecded(std::size_t line_bits, std::size_t word_bits)
+    : lineBits_(line_bits), code_(word_bits)
+{
+    assert(word_bits >= 1 && line_bits % word_bits == 0);
+}
+
+BitVector
+LineSecded::encodeCheck(const BitVector &line) const
+{
+    assert(line.size() == lineBits_);
+    BitVector lanes(checkLanes());
+    std::size_t cb = code_.checkBits();
+    for (std::size_t w = 0; w < words(); ++w) {
+        BitVector word = line.slice(w * wordBits(), wordBits());
+        BitVector check = code_.checkBitsFor(word);
+        for (std::size_t k = 0; k < cb; ++k)
+            lanes.set(w * cb + k, check.get(k));
+    }
+    return lanes;
+}
+
+LineSecded::Result
+LineSecded::correct(BitVector &line, BitVector &check) const
+{
+    assert(line.size() == lineBits_);
+    assert(check.size() == checkLanes());
+    Result res;
+    std::size_t cb = code_.checkBits();
+    for (std::size_t w = 0; w < words(); ++w) {
+        BitVector word = line.slice(w * wordBits(), wordBits());
+        BitVector wcheck = check.slice(w * cb, cb);
+        SecdedCode::Decoded d = code_.decode(word, wcheck);
+        if (d.status == EccStatus::Clean)
+            continue;
+        if (d.status == EccStatus::Uncorrectable) {
+            ++res.uncorrectableWords;
+            continue;
+        }
+        ++res.correctedWords;
+        for (std::size_t i = 0; i < wordBits(); ++i)
+            line.set(w * wordBits() + i, word.get(i));
+        for (std::size_t k = 0; k < cb; ++k)
+            check.set(w * cb + k, wcheck.get(k));
+    }
+    return res;
+}
+
+} // namespace coruscant

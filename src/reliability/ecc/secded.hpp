@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Hamming SECDED (single-error-correct, double-error-detect) codes
+ * over DWM lines.
+ *
+ * The alignment guard (PR 1) protects the *position* of a DBC's
+ * domains; nothing so far protects their *contents*.  This module adds
+ * the data-domain half of the reliability story: an extended Hamming
+ * code per data word, with the check bits stored in dedicated
+ * nanowires of the same DBC, so a line read returns data and check
+ * lanes in one port access and the decoder can correct any single
+ * flipped bit per word and flag (never miscorrect) any double flip.
+ *
+ * Code construction (standard extended Hamming):
+ *  - codeword positions are numbered 1..m; positions that are powers
+ *    of two hold check bits, the rest hold data bits in order;
+ *  - check bit at position 2^k is the parity of all positions whose
+ *    index has bit k set;
+ *  - one extra overall-parity bit (position 0) covers the whole
+ *    codeword and turns SEC into SECDED.
+ *
+ * Decoding: syndrome S = XOR of the indices of all set positions,
+ * overall parity P of the stored codeword.
+ *   S == 0, P even  -> clean
+ *   S == 0, P odd   -> the overall parity bit itself flipped (correct)
+ *   S != 0, P odd   -> single-bit error at position S (correct)
+ *   S != 0, P even  -> double-bit error (detected uncorrectable)
+ * A syndrome pointing past the codeword length is likewise a detected
+ * uncorrectable pattern (only reachable with >= 2 flips).
+ *
+ * ECC deliberately does NOT cover in-situ PIM: transverse reads sense
+ * raw operand lanes across words, so check bits are meaningless to a
+ * TR — PIM results are protected by the paper's NMR voting instead
+ * (reliability/error_model, CoruscantUnit::nmrVote).  See
+ * EXPERIMENTS.md "Data-fault tolerance and ECC".
+ */
+
+#ifndef CORUSCANT_RELIABILITY_ECC_SECDED_HPP
+#define CORUSCANT_RELIABILITY_ECC_SECDED_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bit_vector.hpp"
+
+namespace coruscant {
+
+/** How a SECDED decode resolved. */
+enum class EccStatus : std::uint8_t
+{
+    Clean = 0,     ///< syndrome zero, parity even
+    Corrected,     ///< single-bit error located and flipped back
+    Uncorrectable, ///< double-bit (or detectable multi-bit) pattern
+};
+
+/** Extended Hamming code over one data word. */
+class SecdedCode
+{
+  public:
+    /** Build the code for @p data_bits-wide words (>= 1). */
+    explicit SecdedCode(std::size_t data_bits);
+
+    std::size_t dataBits() const { return dataBits_; }
+
+    /** Hamming check bits plus the overall parity bit. */
+    std::size_t checkBits() const { return hammingBits_ + 1; }
+
+    /** Stored codeword width: data + check. */
+    std::size_t codeBits() const { return dataBits_ + checkBits(); }
+
+    /**
+     * Encode @p data (size dataBits()) into a codeword laid out as
+     * [data | hamming checks | overall parity] — data bits keep their
+     * positions, so a fault-free codeword's data slice is the word
+     * itself and the check lanes can live in separate nanowires.
+     */
+    BitVector encode(const BitVector &data) const;
+
+    /** Just the checkBits() check-bit vector for @p data. */
+    BitVector checkBitsFor(const BitVector &data) const;
+
+    /** Outcome of decoding one codeword. */
+    struct Decoded
+    {
+        EccStatus status = EccStatus::Clean;
+        /**
+         * Flat codeword index of the corrected bit ([0, dataBits) =
+         * data, beyond = check lanes); only valid when status is
+         * Corrected.
+         */
+        std::size_t correctedBit = 0;
+    };
+
+    /**
+     * Decode in place: @p data (size dataBits()) and @p check (size
+     * checkBits()) as read from the array.  A single-bit error is
+     * flipped back (in whichever of the two vectors it lies);
+     * a double-bit error leaves both untouched and reports
+     * Uncorrectable — SECDED never miscorrects a double error.
+     */
+    Decoded decode(BitVector &data, BitVector &check) const;
+
+  private:
+    /** Positional (1-based) codeword index of flat data bit @p i. */
+    std::size_t dataPosition(std::size_t i) const { return dataPos_[i]; }
+
+    std::size_t dataBits_;
+    std::size_t hammingBits_;
+    std::vector<std::size_t> dataPos_;  ///< flat data idx -> position
+    std::vector<std::size_t> posToFlat_; ///< position -> flat code idx
+};
+
+/**
+ * SECDED over a whole DWM line: the line is split into equal words,
+ * each independently protected, and the concatenated check bits form
+ * the extra "check lanes" appended to the line's data nanowires.
+ *
+ * For the default 512-bit line and 64-bit words this is the classic
+ * (72, 64) organization: 8 words x 8 check bits = 64 check lanes, a
+ * 12.5 % capacity overhead per protected DBC.
+ */
+class LineSecded
+{
+  public:
+    /**
+     * @param line_bits data bits per line (multiple of @p word_bits)
+     * @param word_bits protected word width
+     */
+    LineSecded(std::size_t line_bits, std::size_t word_bits);
+
+    std::size_t lineBits() const { return lineBits_; }
+    std::size_t wordBits() const { return code_.dataBits(); }
+    std::size_t words() const { return lineBits_ / wordBits(); }
+
+    /** Check lanes appended to the line: words() x code.checkBits(). */
+    std::size_t checkLanes() const
+    {
+        return words() * code_.checkBits();
+    }
+
+    const SecdedCode &code() const { return code_; }
+
+    /** Check-lane contents for @p line (size lineBits()). */
+    BitVector encodeCheck(const BitVector &line) const;
+
+    /** Aggregate outcome of decoding one line. */
+    struct Result
+    {
+        std::uint32_t correctedWords = 0;
+        std::uint32_t uncorrectableWords = 0;
+
+        EccStatus
+        status() const
+        {
+            if (uncorrectableWords)
+                return EccStatus::Uncorrectable;
+            return correctedWords ? EccStatus::Corrected
+                                  : EccStatus::Clean;
+        }
+    };
+
+    /**
+     * Decode @p line (size lineBits()) against @p check (size
+     * checkLanes()), correcting single-bit errors in place word by
+     * word.  Words with double-bit errors are left untouched and
+     * counted uncorrectable.
+     */
+    Result correct(BitVector &line, BitVector &check) const;
+
+  private:
+    std::size_t lineBits_;
+    SecdedCode code_;
+};
+
+} // namespace coruscant
+
+#endif // CORUSCANT_RELIABILITY_ECC_SECDED_HPP

@@ -145,6 +145,13 @@ FaultCampaign::controllerCampaign(const ControllerCampaignConfig &ccfg)
     mcfg.reliability.guardPolicy = ccfg.policy;
     mcfg.reliability.maxRetries = ccfg.maxRetries;
     mcfg.reliability.retireThreshold = ccfg.retireThreshold;
+    mcfg.reliability.dataFaultRate = ccfg.dataFaultRate;
+    mcfg.reliability.stuckAtFraction = ccfg.stuckAtFraction;
+    mcfg.reliability.retentionRatePerCycle =
+        ccfg.retentionRatePerCycle;
+    mcfg.reliability.dataFaultSeed = ccfg.seed ^ 0xda7af17u;
+    mcfg.reliability.eccMode = ccfg.ecc;
+    mcfg.reliability.pimNmr = ccfg.pimNmr;
 
     DwmMainMemory mem(mcfg);
     MemoryController ctrl(mem);
@@ -171,6 +178,8 @@ FaultCampaign::controllerCampaign(const ControllerCampaignConfig &ccfg)
         // see a partially overwritten operand.
         std::uint64_t fix0 = mem.correctedMisalignments();
         std::uint64_t due0 = mem.uncorrectableEvents();
+        std::uint64_t ecc_fix0 = mem.eccCorrections();
+        std::uint64_t ecc_due0 = mem.eccDetectedUncorrectable();
         LineAddress loc;
         loc.bank = rng.next() % mcfg.banks;
         loc.subarray = rng.next() % mcfg.subarraysPerBank;
@@ -218,9 +227,11 @@ FaultCampaign::controllerCampaign(const ControllerCampaignConfig &ccfg)
         // result is the silent corruption the guard exists to prevent.
         bool flagged = rep.outcome == ExecOutcome::Uncorrectable ||
                        rep.outcome == ExecOutcome::SparesExhausted ||
-                       mem.uncorrectableEvents() > due0;
+                       mem.uncorrectableEvents() > due0 ||
+                       mem.eccDetectedUncorrectable() > ecc_due0;
         bool fixed = rep.outcome == ExecOutcome::Corrected ||
-                     mem.correctedMisalignments() > fix0;
+                     mem.correctedMisalignments() > fix0 ||
+                     mem.eccCorrections() > ecc_fix0;
         if (flagged)
             ++res.due;
         else if (!match)
@@ -237,6 +248,9 @@ FaultCampaign::controllerCampaign(const ControllerCampaignConfig &ccfg)
     res.guardChecks = mem.guardChecks();
     res.correctivePulses = mem.correctedMisalignments();
     res.retiredDbcs = mem.retiredDbcs();
+    res.dataFaultsInjected = mem.injectedDataFaults();
+    res.eccCorrections = mem.eccCorrections();
+    res.eccDue = mem.eccDetectedUncorrectable();
     return res;
 }
 

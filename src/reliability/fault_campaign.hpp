@@ -54,6 +54,13 @@ struct ControllerCampaignConfig
     std::size_t maxRetries = 2;
     std::uint64_t retireThreshold = 0; ///< 0 disables DBC retirement
 
+    // Data-domain fault axis (ISSUE 5): content faults + protection.
+    double dataFaultRate = 0.0;     ///< per-bit transient flip / access
+    double stuckAtFraction = 0.0;   ///< fraction of domains stuck-at
+    double retentionRatePerCycle = 0.0; ///< per-bit per-cycle decay
+    EccMode ecc = EccMode::None;    ///< line protection
+    std::size_t pimNmr = 1;         ///< PIM replication (1/3/5/7)
+
     /**
      * Optional observability (non-owning): when set, the campaign's
      * internal memory and controller attach to these, so the caller
@@ -81,6 +88,10 @@ struct ControllerCampaignResult
     std::uint64_t correctivePulses = 0;
     std::uint64_t retiredDbcs = 0;
     std::uint64_t residualAfterScrub = 0; ///< uncorrectable in final sweep
+
+    std::uint64_t dataFaultsInjected = 0; ///< data-domain bit faults
+    std::uint64_t eccCorrections = 0;     ///< SECDED words corrected
+    std::uint64_t eccDue = 0;             ///< SECDED words flagged DUE
 
     /** Faulty trials resolved correctly: corrected / (all non-clean). */
     double

@@ -1,6 +1,8 @@
 #include "service/fault_service.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <map>
 
 #include "arch/dwm_memory.hpp"
 #include "util/bit_vector.hpp"
@@ -108,7 +110,103 @@ GuardServiceCosts::measure()
     out.resetEnergyPj =
         static_cast<double>(rows) *
         (mc.device.shiftEnergyPj + mc.device.writeEnergyPj);
+
+    // ECC charges through a SECDED-enabled memory: the "ecc" category
+    // is the check-lane energy riding one port access, "ecc_scrub" one
+    // full sweep of the single materialized DBC (= one group's share).
+    MemoryConfig emc = mc;
+    emc.reliability = ReliabilityConfig{};
+    emc.reliability.eccMode = EccMode::Secded;
+    DwmMainMemory emem(emc);
+    auto ecategory = [&](const char *what) {
+        auto it = emem.ledger().byCategory().find(what);
+        return it == emem.ledger().byCategory().end()
+                   ? CostLedger::Entry{}
+                   : it->second;
+    };
+    BitVector line(emc.device.wiresPerDbc);
+    emem.writeLine(0, line);
+    emem.resetCosts();
+    emem.readLine(0);
+    out.eccReadEnergyPj = ecategory("ecc").energyPj;
+    emem.resetCosts();
+    emem.writeLine(0, line);
+    out.eccWriteEnergyPj = ecategory("ecc").energyPj;
+    emem.resetCosts();
+    emem.scrubEcc();
+    out.eccScrubGroupCycles =
+        static_cast<std::uint32_t>(ecategory("ecc_scrub").cycles);
+    out.eccScrubGroupEnergyPj = ecategory("ecc_scrub").energyPj;
+    panicIf(out.eccReadEnergyPj <= 0.0 || out.eccScrubGroupCycles == 0,
+            "ECC cost measurement: SECDED charges did not register");
     return out;
+}
+
+ChannelDataFaultInjector::ChannelDataFaultInjector(
+    const ServiceFaultConfig &cfg, std::uint64_t channel_seed,
+    std::size_t line_bits, std::size_t word_bits)
+    : cfg_(cfg), lineBits_(line_bits), wordBits_(word_bits),
+      rng_(channel_seed)
+{
+    fatalIf(line_bits == 0 || word_bits == 0,
+            "data fault injector needs positive line/word widths");
+}
+
+ChannelDataFaultInjector::Sample
+ChannelDataFaultInjector::sample(std::uint64_t line_accesses,
+                                 std::uint64_t idle_cycles)
+{
+    Sample s;
+    // Key = flat bit position / word width, so two flips only share a
+    // codeword when they land in the same word of the same access.
+    std::map<std::uint64_t, std::uint32_t> words;
+    auto draw = [&](std::uint64_t bits, double prob) {
+        if (bits == 0 || prob <= 0.0)
+            return;
+        if (prob >= 1.0) {
+            for (std::uint64_t pos = 0; pos < bits; ++pos)
+                ++words[pos / wordBits_];
+            s.flips += bits;
+            injected_ += bits;
+            return;
+        }
+        // Geometric gaps between Bernoulli successes: O(flips).
+        const double denom = std::log1p(-prob);
+        std::uint64_t pos = 0;
+        while (true) {
+            double gap =
+                std::floor(std::log1p(-rng_.nextDouble()) / denom);
+            if (gap >= static_cast<double>(bits - pos))
+                break;
+            pos += static_cast<std::uint64_t>(gap);
+            ++words[pos / wordBits_];
+            ++s.flips;
+            ++injected_;
+            if (++pos >= bits)
+                break;
+        }
+    };
+    // Retention flips materialize in the stored line and are decoded
+    // by the first access, so they share access 0's codeword keyspace.
+    if (cfg_.retentionRatePerCycle > 0.0 && idle_cycles > 0)
+        draw(lineBits_,
+             -std::expm1(-cfg_.retentionRatePerCycle *
+                         static_cast<double>(idle_cycles)));
+    draw(line_accesses * lineBits_,
+         cfg_.dataFaultRate + 0.5 * cfg_.stuckAtFraction);
+    const bool secded = cfg_.ecc == EccMode::Secded;
+    for (const auto &[word, count] : words) {
+        (void)word;
+        if (!secded)
+            ++s.sdcWords;
+        else if (count == 1)
+            ++s.correctedWords;
+        else if (count == 2)
+            ++s.dueWords;
+        else
+            ++s.sdcWords;
+    }
+    return s;
 }
 
 ChannelFaultInjector::ChannelFaultInjector(const ServiceFaultConfig &cfg,

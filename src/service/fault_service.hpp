@@ -37,6 +37,7 @@
 
 #include "arch/config.hpp"
 #include "dwm/shift_fault.hpp"
+#include "util/rng.hpp"
 
 namespace coruscant {
 
@@ -105,11 +106,37 @@ struct ServiceFaultConfig
     /** Cycles between scrub sweeps under GuardPolicy::PeriodicScrub. */
     std::uint64_t scrubIntervalCycles = 4096;
 
+    // --- Data-domain faults (content, not alignment) -----------------
+
+    /** Per-bit transient flip probability per line access. */
+    double dataFaultRate = 0.0;
+
+    /** Fraction of domains frozen stuck-at (stationary population). */
+    double stuckAtFraction = 0.0;
+
+    /** Per-bit retention-decay rate per idle cycle. */
+    double retentionRatePerCycle = 0.0;
+
+    /** SECDED line protection on the port path (TRs bypass it). */
+    EccMode ecc = EccMode::None;
+
+    /** PIM replication factor (1/3/5/7) under data faults. */
+    std::size_t pimNmr = 1;
+
+    /** Whether any data-domain fault source is active. */
+    bool
+    dataFaultsEnabled() const
+    {
+        return dataFaultRate > 0.0 || stuckAtFraction > 0.0 ||
+               retentionRatePerCycle > 0.0;
+    }
+
     /** Whether the fault pipeline is active for a run. */
     bool
     enabled() const
     {
-        return shiftFaultRate > 0.0 || !ramp.empty();
+        return shiftFaultRate > 0.0 || !ramp.empty() ||
+               dataFaultsEnabled();
     }
 
     /** Fault rate in effect at @p cycle (ramp, else the flat rate). */
@@ -141,6 +168,15 @@ struct GuardServiceCosts
     double resetEnergyPj = 0.0;
     std::uint32_t retireCycles = 0;  ///< migrate a DBC group to a spare
     double retireEnergyPj = 0.0;
+
+    // ECC charges, measured through a SECDED-enabled DwmMainMemory.
+    // Check lanes ride the data's shift pulses and port strobe, so
+    // per-access protection costs energy, not cycles; the scrub sweep
+    // occupies the bank like any maintenance unit.
+    double eccReadEnergyPj = 0.0;  ///< check-lane energy per line read
+    double eccWriteEnergyPj = 0.0; ///< check-lane energy per line write
+    std::uint32_t eccScrubGroupCycles = 0; ///< ECC-sweep one DBC group
+    double eccScrubGroupEnergyPj = 0.0;
 
     /** Measure against the default guarded device configuration. */
     static GuardServiceCosts measure();
@@ -175,6 +211,56 @@ class ChannelFaultInjector
   private:
     const ServiceFaultConfig &cfg_;
     ShiftFaultModel model_;
+};
+
+/**
+ * Per-channel data-domain fault source: the statistical mirror of the
+ * device-level DataFaultModel for the service timing model.  Every
+ * line access of a dispatched unit exposes the line's bits to
+ * transient flips plus the half of the stationary stuck-at population
+ * whose frozen polarity disagrees with the stored data; the first
+ * access additionally pays retention decay accumulated while the
+ * (bank, group) sat idle.  Flips are placed by geometric gap sampling
+ * (O(flips), not O(bits)) and classified per SECDED codeword: one
+ * flip corrects in-line, two are a detected-uncorrectable, three or
+ * more alias the syndrome — silent corruption.  With ECC off every
+ * flipped word is silent.  Seeded from (seed, channel), never from
+ * the worker thread, so `serve --threads N` stays bit-identical.
+ */
+class ChannelDataFaultInjector
+{
+  public:
+    ChannelDataFaultInjector(const ServiceFaultConfig &cfg,
+                             std::uint64_t channel_seed,
+                             std::size_t line_bits,
+                             std::size_t word_bits);
+
+    /** Per-codeword classification of one unit's data faults. */
+    struct Sample
+    {
+        std::uint64_t flips = 0;          ///< raw bits flipped
+        std::uint32_t correctedWords = 0; ///< single-bit, SECDED fixes
+        std::uint32_t dueWords = 0;       ///< double-bit, detected
+        std::uint32_t sdcWords = 0;       ///< >=3 bits, or ECC off
+    };
+
+    /**
+     * Sample the faults of one unit making @p line_accesses port
+     * accesses, the first of which lands on a line idle for
+     * @p idle_cycles (retention exposure).
+     */
+    Sample sample(std::uint64_t line_accesses,
+                  std::uint64_t idle_cycles);
+
+    /** Data-domain bit flips injected into this channel so far. */
+    std::uint64_t injected() const { return injected_; }
+
+  private:
+    const ServiceFaultConfig &cfg_;
+    std::size_t lineBits_;
+    std::size_t wordBits_;
+    Rng rng_;
+    std::uint64_t injected_ = 0;
 };
 
 /**

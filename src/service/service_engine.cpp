@@ -89,7 +89,9 @@ ServiceStats::report() const
     os << "\n";
     bool faulty = injectedFaults || guardRetries || breakerTrips ||
                   retiredGroups || deadGroups || steeredRequests ||
-                  capacityRejections || maintenanceUnits;
+                  capacityRejections || maintenanceUnits ||
+                  dataFaultsInjected || eccCorrections ||
+                  eccDetectedUncorrectable;
     if (faulty) {
         std::snprintf(
             buf, sizeof buf,
@@ -107,6 +109,18 @@ ServiceStats::report() const
             static_cast<unsigned long long>(maintenanceUnits),
             capacityLossFraction);
         os << buf;
+        if (dataFaultsInjected || eccCorrections ||
+            eccDetectedUncorrectable) {
+            std::snprintf(
+                buf, sizeof buf,
+                "ecc: data-faults=%llu corrections=%llu "
+                "detected-uncorrectable=%llu\n",
+                static_cast<unsigned long long>(dataFaultsInjected),
+                static_cast<unsigned long long>(eccCorrections),
+                static_cast<unsigned long long>(
+                    eccDetectedUncorrectable));
+            os << buf;
+        }
         for (std::size_t k = 0; k < kRequestOutcomes; ++k) {
             if (outcomeLatency[k].count() == 0)
                 continue;
@@ -138,6 +152,30 @@ workloadConfigOf(const ServiceConfig &cfg, std::size_t max_add)
 }
 
 /**
+ * Combine two unit verdicts.  A flagged detected-uncorrectable
+ * dominates silent corruption (campaign taxonomy: a flagged trial is
+ * a DUE whether or not the data happens to be right), which dominates
+ * corrected, which dominates clean.
+ */
+RequestOutcome
+worseOutcome(RequestOutcome a, RequestOutcome b)
+{
+    auto rank = [](RequestOutcome o) {
+        switch (o) {
+        case RequestOutcome::Due:
+            return 3;
+        case RequestOutcome::Sdc:
+            return 2;
+        case RequestOutcome::Corrected:
+            return 1;
+        default:
+            return 0;
+        }
+    };
+    return rank(a) >= rank(b) ? a : b;
+}
+
+/**
  * Simulates one channel: admission, batching, and in-order dispatch,
  * then replays the dispatched trace through EventSimulator so the
  * channel's utilization/makespan come from the existing simulator
@@ -166,6 +204,19 @@ class ChannelSim
             health_.emplace(cfg.faults, cfg.banksPerChannel,
                             cfg.dbcGroupsPerBank);
             nextScrub_ = cfg.faults.scrubIntervalCycles;
+            if (cfg.faults.dataFaultsEnabled()) {
+                // Its own salted stream: data faults never correlate
+                // with the shift-fault or workload generators.
+                dataInjector_.emplace(
+                    cfg.faults,
+                    channelSeed(cfg.seed ^ 0x00ecc5eedull, channel),
+                    DeviceParams::withTrd(cfg.trd).wiresPerDbc,
+                    ReliabilityConfig{}.eccWordBits);
+                lastTouch_.assign(
+                    static_cast<std::size_t>(cfg.banksPerChannel) *
+                        cfg.dbcGroupsPerBank,
+                    0);
+            }
         }
         if (cfg.collectMetrics) {
             std::string base = "channel" + std::to_string(channel);
@@ -175,6 +226,9 @@ class ChannelSim
             if (faultsOn_)
                 guardMetrics_ =
                     &stats_.metrics.component(base + "/guard");
+            if (dataInjector_)
+                eccMetrics_ =
+                    &stats_.metrics.component(base + "/ecc");
         }
         if (cfg.collectTrace) {
             stats_.trace.enable();
@@ -196,12 +250,20 @@ class ChannelSim
         stats_.batch = batcher_.stats();
         if (faultsOn_) {
             stats_.injectedFaults = injector_->injected();
+            if (guardMetrics_)
+                guardMetrics_->add(obs::Counter::FaultsInjected,
+                                   injector_->injected());
             stats_.breakerTrips = health_->breakerTrips();
             stats_.retiredGroups = health_->retiredGroups();
             stats_.deadGroups = health_->deadGroups();
             stats_.steeredRequests = health_->steeredRequests();
             stats_.capacityLossFraction =
                 health_->capacityLossFraction();
+            if (dataInjector_) {
+                stats_.dataFaultsInjected = dataInjector_->injected();
+                stats_.eccCorrections = eccCorrections_;
+                stats_.eccDetectedUncorrectable = eccDue_;
+            }
         }
 
         EventSimulator sim(cfg_.banksPerChannel);
@@ -418,6 +480,112 @@ class ChannelSim
     }
 
     /**
+     * Data-domain faults of one dispatched unit, classified per SECDED
+     * codeword.  ECC check-lane energy rides every port access whether
+     * or not a fault lands.  PIM-class units sense raw operand lanes
+     * with transverse reads — check bits mean nothing to a TR — so
+     * under pimNmr > 1 they run N-modular-redundant instead: the
+     * replicas are charged in full and the vote masks transient
+     * corruption.  Port-path DUE words re-execute under the bounded
+     * retry ladder (transient flips re-sample clean); words still
+     * uncorrectable after the ladder escalate to the health tracker.
+     */
+    FaultVerdict
+    applyDataFaults(std::uint64_t now, std::uint32_t bank,
+                    std::uint32_t group, const RequestCost &cost,
+                    const obs::PrimCounts &prims, bool pim_class)
+    {
+        FaultVerdict v;
+        const ServiceFaultConfig &fc = cfg_.faults;
+        const GuardServiceCosts &g = guardCosts_;
+        const bool secded = fc.ecc == EccMode::Secded;
+        std::uint64_t accesses = prims.reads + prims.writes;
+        if (secded)
+            v.extraEnergyPj +=
+                static_cast<double>(prims.reads) * g.eccReadEnergyPj +
+                static_cast<double>(prims.writes) * g.eccWriteEnergyPj;
+        std::size_t slot =
+            static_cast<std::size_t>(bank) * cfg_.dbcGroupsPerBank +
+            group;
+        std::uint64_t idle = now - std::min(now, lastTouch_[slot]);
+        lastTouch_[slot] = now;
+        const bool nmr = pim_class && fc.pimNmr > 1;
+        if (nmr) {
+            std::uint64_t extra =
+                static_cast<std::uint64_t>(fc.pimNmr) - 1;
+            v.extraCycles += extra * cost.serviceCycles;
+            v.extraEnergyPj +=
+                static_cast<double>(extra) * cost.energyPj;
+            accesses *= fc.pimNmr;
+        }
+        ChannelDataFaultInjector::Sample s =
+            dataInjector_->sample(accesses, idle);
+        std::uint64_t flips = s.flips;
+        if (flips == 0) {
+            if (eccMetrics_ && v.extraEnergyPj != 0.0)
+                eccMetrics_->addEnergy(v.extraEnergyPj);
+            return v;
+        }
+        if (nmr) {
+            // Replicated execution: the majority vote absorbs what the
+            // flips corrupted; the unit completes corrected, not SDC.
+            v.outcome = RequestOutcome::Corrected;
+            v.corrections += 1;
+            v.detected = true;
+        } else if (!secded) {
+            // Unprotected port path: flips land silently.
+            v.outcome = RequestOutcome::Sdc;
+        } else {
+            std::uint32_t corrected = s.correctedWords;
+            std::uint32_t due = s.dueWords;
+            std::uint32_t sdc = s.sdcWords;
+            for (std::size_t attempt = 0;
+                 due > 0 && attempt < fc.maxRetries; ++attempt) {
+                v.extraCycles += (fc.retryBackoffCycles << attempt) +
+                                 cost.serviceCycles;
+                v.extraEnergyPj += cost.energyPj;
+                v.retries += 1;
+                ChannelDataFaultInjector::Sample rs =
+                    dataInjector_->sample(accesses, 0);
+                flips += rs.flips;
+                corrected += rs.correctedWords;
+                due = rs.dueWords;
+                sdc += rs.sdcWords;
+            }
+            if (corrected > 0) {
+                eccCorrections_ += corrected;
+                v.corrections += corrected;
+                v.detected = true;
+                v.outcome = RequestOutcome::Corrected;
+                if (eccMetrics_)
+                    eccMetrics_->add(obs::Counter::EccCorrections,
+                                     corrected);
+            }
+            if (sdc > 0)
+                v.outcome =
+                    worseOutcome(v.outcome, RequestOutcome::Sdc);
+            if (due > 0) {
+                eccDue_ += due;
+                v.due = true;
+                v.detected = true;
+                v.outcome = RequestOutcome::Due;
+                if (eccMetrics_)
+                    eccMetrics_->add(
+                        obs::Counter::EccDetectedUncorrectable, due);
+            }
+        }
+        if (eccMetrics_) {
+            eccMetrics_->add(obs::Counter::DataFaultsInjected, flips);
+            if (v.extraEnergyPj != 0.0)
+                eccMetrics_->addEnergy(v.extraEnergyPj);
+        }
+        if (stats_.trace.on())
+            stats_.trace.instant("data_fault", "ecc", now, channel_,
+                                 bank);
+        return v;
+    }
+
+    /**
      * Non-request bank work (scrub sweeps, retirement migration):
      * occupies the command bus and the bank like any dispatched unit,
      * so the EventSimulator replay accounts for it cycle-for-cycle.
@@ -492,13 +660,26 @@ class ChannelSim
     {
         FaultVerdict verdict;
         if (faultsOn_) {
-            std::uint64_t shifts =
+            obs::PrimCounts prims =
                 members.size() > 1
-                    ? costs_.gangPrims(members.size()).shifts
-                    : costs_.prims(members.front()).shifts;
+                    ? costs_.gangPrims(members.size())
+                    : costs_.prims(members.front());
             bool pim = members.front().cls != RequestClass::Read &&
                        members.front().cls != RequestClass::Write;
-            verdict = applyFaults(now, bank, group, cost, shifts, pim);
+            verdict = applyFaults(now, bank, group, cost,
+                                  prims.shifts, pim);
+            if (dataInjector_) {
+                FaultVerdict dv = applyDataFaults(now, bank, group,
+                                                  cost, prims, pim);
+                verdict.extraCycles += dv.extraCycles;
+                verdict.extraEnergyPj += dv.extraEnergyPj;
+                verdict.retries += dv.retries;
+                verdict.corrections += dv.corrections;
+                verdict.detected |= dv.detected;
+                verdict.due |= dv.due;
+                verdict.outcome =
+                    worseOutcome(verdict.outcome, dv.outcome);
+            }
             cost.serviceCycles +=
                 static_cast<std::uint32_t>(verdict.extraCycles);
             cost.energyPj += verdict.extraEnergyPj;
@@ -585,54 +766,116 @@ class ChannelSim
         }
     }
 
+    /** Whether the ECC scrub sweep rides the scrub cadence. */
+    bool
+    eccScrubOn() const
+    {
+        return dataInjector_.has_value() &&
+               cfg_.faults.ecc != EccMode::None;
+    }
+
     /** Whether a scrub sweep is due before the run's duration ends. */
     bool
     scrubDue() const
     {
-        return faultsOn_ &&
-               cfg_.faults.policy == GuardPolicy::PeriodicScrub &&
-               cfg_.faults.scrubIntervalCycles > 0 &&
-               nextScrub_ < cfg_.durationCycles;
+        if (!faultsOn_ || cfg_.faults.scrubIntervalCycles == 0 ||
+            nextScrub_ >= cfg_.durationCycles)
+            return false;
+        return cfg_.faults.policy == GuardPolicy::PeriodicScrub ||
+               eccScrubOn();
     }
 
     /**
      * One scrub sweep: every (bank, group) pays a guard check, sticky
      * misalignments are corrected (or reset when multi-step) and fed
      * to the health tracker, and each bank's share is dispatched as a
-     * maintenance unit occupying it.
+     * maintenance unit occupying it.  With SECDED on, the same sweep
+     * re-reads the group's stored lines, rewrites correctable
+     * retention decay before a second flip turns it into a DUE, and
+     * refreshes the group's retention clock.
      */
     void
     runScrub()
     {
         std::uint64_t at = nextScrub_;
         nextScrub_ += cfg_.faults.scrubIntervalCycles;
+        const bool align =
+            cfg_.faults.policy == GuardPolicy::PeriodicScrub;
+        const bool ecc = eccScrubOn();
         for (std::uint32_t bank = 0; bank < cfg_.banksPerChannel;
              ++bank) {
             std::uint32_t cycles = 0;
             double pj = 0.0;
             for (std::uint32_t grp = 0; grp < cfg_.dbcGroupsPerBank;
                  ++grp) {
-                cycles += guardCosts_.checkCycles;
-                pj += guardCosts_.checkEnergyPj;
-                int mis = health_->misalign(bank, grp);
-                if (mis == 0)
-                    continue;
-                bool due = mis < -1 || mis > 1;
-                if (due) {
-                    cycles += guardCosts_.resetCycles;
-                    pj += guardCosts_.resetEnergyPj;
-                } else {
-                    cycles += guardCosts_.correctCycles;
-                    pj += guardCosts_.correctEnergyPj;
-                    if (guardMetrics_)
-                        guardMetrics_->add(
-                            obs::Counter::MisalignCorrections);
+                if (align) {
+                    cycles += guardCosts_.checkCycles;
+                    pj += guardCosts_.checkEnergyPj;
+                    int mis = health_->misalign(bank, grp);
+                    if (mis != 0) {
+                        bool due = mis < -1 || mis > 1;
+                        if (due) {
+                            cycles += guardCosts_.resetCycles;
+                            pj += guardCosts_.resetEnergyPj;
+                        } else {
+                            cycles += guardCosts_.correctCycles;
+                            pj += guardCosts_.correctEnergyPj;
+                            if (guardMetrics_)
+                                guardMetrics_->add(
+                                    obs::Counter::
+                                        MisalignCorrections);
+                        }
+                        health_->misalign(bank, grp) = 0;
+                        handleHealthEvent(bank, grp, at + cycles, due,
+                                          at);
+                    }
                 }
-                health_->misalign(bank, grp) = 0;
-                handleHealthEvent(bank, grp, at + cycles, due, at);
+                if (ecc)
+                    scrubEccGroup(bank, grp, at, cycles, pj);
             }
             dispatchMaintenance("scrub", at, bank, cycles, pj);
         }
+    }
+
+    /** ECC share of one (bank, group)'s scrub visit. */
+    void
+    scrubEccGroup(std::uint32_t bank, std::uint32_t grp,
+                  std::uint64_t at, std::uint32_t &cycles, double &pj)
+    {
+        cycles += guardCosts_.eccScrubGroupCycles;
+        pj += guardCosts_.eccScrubGroupEnergyPj;
+        std::size_t slot =
+            static_cast<std::size_t>(bank) * cfg_.dbcGroupsPerBank +
+            grp;
+        std::uint64_t idle = at - std::min(at, lastTouch_[slot]);
+        lastTouch_[slot] = at;
+        ChannelDataFaultInjector::Sample s =
+            dataInjector_->sample(0, idle);
+        if (s.flips == 0)
+            return;
+        if (eccMetrics_)
+            eccMetrics_->add(obs::Counter::DataFaultsInjected,
+                             s.flips);
+        if (s.correctedWords > 0) {
+            eccCorrections_ += s.correctedWords;
+            if (eccMetrics_)
+                eccMetrics_->add(obs::Counter::EccCorrections,
+                                 s.correctedWords);
+        }
+        std::uint32_t lost = s.dueWords + s.sdcWords;
+        if (lost > 0) {
+            // Decay past SECDED's reach: the sweep flags the line (the
+            // decoder sees it — no silent path here) and escalates to
+            // the breaker/retirement machinery.
+            eccDue_ += lost;
+            if (eccMetrics_)
+                eccMetrics_->add(
+                    obs::Counter::EccDetectedUncorrectable, lost);
+            handleHealthEvent(bank, grp, at + cycles, true, at);
+        }
+        if (stats_.trace.on())
+            stats_.trace.instant("ecc_scrub", "ecc", at, channel_,
+                                 bank);
     }
 
     void
@@ -721,6 +964,11 @@ class ChannelSim
     bool faultsOn_ = false;
     std::optional<ChannelFaultInjector> injector_;
     std::optional<DbcHealthTracker> health_;
+    std::optional<ChannelDataFaultInjector> dataInjector_;
+    std::vector<std::uint64_t> lastTouch_; ///< retention clock/(b,g)
+    obs::ComponentMetrics *eccMetrics_ = nullptr; ///< into stats_
+    std::uint64_t eccCorrections_ = 0;
+    std::uint64_t eccDue_ = 0;
     std::uint64_t nextScrub_ = 0;
 
     std::uint64_t busFree_ = 0;
@@ -832,6 +1080,9 @@ ServiceEngine::run() const
         out.capacityRejections += c.capacityRejections;
         out.maintenanceUnits += c.maintenanceUnits;
         out.capacityLossFraction += c.capacityLossFraction;
+        out.dataFaultsInjected += c.dataFaultsInjected;
+        out.eccCorrections += c.eccCorrections;
+        out.eccDetectedUncorrectable += c.eccDetectedUncorrectable;
         issued_cycles +=
             c.busUtilization * static_cast<double>(c.makespan);
         busy_weight +=

@@ -142,6 +142,11 @@ struct ServiceStats
     std::uint64_t maintenanceUnits = 0; ///< scrub/migration bus units
     double capacityLossFraction = 0.0; ///< mean dead fraction/channel
 
+    // --- Data-domain fault / ECC counters (zero unless enabled) ------
+    std::uint64_t dataFaultsInjected = 0; ///< data-domain bit flips
+    std::uint64_t eccCorrections = 0; ///< SECDED words fixed in-line
+    std::uint64_t eccDetectedUncorrectable = 0; ///< SECDED DUE words
+
     /**
      * Per-channel activity counters ("channel<N>", "channel<N>/batcher"
      * components), populated when ServiceConfig::collectMetrics is set.

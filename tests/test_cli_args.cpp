@@ -118,6 +118,31 @@ TEST(CliProcess, UsageErrorsExitTwo)
     EXPECT_EQ(cliExit("serve --batch maybe"), 2);
 }
 
+TEST(CliProcess, DataFaultFlagValidationExitsTwo)
+{
+    // The data-fault/ECC axis added for campaign and serve: every
+    // out-of-domain value is a diagnostic plus exit 2 on both
+    // commands, never a silent clamp or fall-back.
+    for (const char *cmd : {"campaign", "serve"}) {
+        std::string c(cmd);
+        EXPECT_EQ(cliExit(c + " --ecc bogus"), 2) << cmd;
+        EXPECT_EQ(cliExit(c + " --ecc"), 2) << cmd;
+        EXPECT_EQ(cliExit(c + " --pdata 1.5"), 2) << cmd;
+        EXPECT_EQ(cliExit(c + " --pdata -0.1"), 2) << cmd;
+        EXPECT_EQ(cliExit(c + " --pstuck 2"), 2) << cmd;
+        EXPECT_EQ(cliExit(c + " --retention -1e-9"), 2) << cmd;
+        EXPECT_EQ(cliExit(c + " --nmr 2"), 2) << cmd; // odd 1..7 only
+        EXPECT_EQ(cliExit(c + " --nmr 9"), 2) << cmd;
+    }
+}
+
+TEST(CliProcess, DataFaultCampaignRunsCleanWithValidFlags)
+{
+    EXPECT_EQ(cliExit("campaign --trials 5 --pshift 0 --pdata 1e-4 "
+                      "--ecc secded --nmr 3 --retention 1e-9"),
+              0);
+}
+
 TEST(CliProcess, ObservabilityFlagsAreAccepted)
 {
     // The new flags parse (and write their files) on the fast paths.

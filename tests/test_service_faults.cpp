@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "service/fault_service.hpp"
@@ -366,6 +367,119 @@ TEST(ServiceFaults, OutcomeHistogramsMergeOrderIndependently)
     EXPECT_DOUBLE_EQ(ab.mean(), ba.mean());
     for (double q : {0.5, 0.9, 0.99, 0.999})
         EXPECT_EQ(ab.percentile(q), ba.percentile(q));
+}
+
+/** Data-fault serving config: transient flips at @p pdata under @p ecc. */
+ServiceConfig
+dataFaultConfig(double pdata, EccMode ecc, std::size_t nmr = 1)
+{
+    ServiceConfig cfg = faultConfig(GuardPolicy::PerAccess, 0.0);
+    cfg.faults.dataFaultRate = pdata;
+    cfg.faults.ecc = ecc;
+    cfg.faults.pimNmr = nmr;
+    return cfg;
+}
+
+TEST(ServiceFaults, SecdedServingHoldsSdcAtZero)
+{
+    ServiceConfig cfg = dataFaultConfig(1e-5, EccMode::Secded, 3);
+    ASSERT_TRUE(cfg.faults.dataFaultsEnabled());
+    ServiceStats s = runService(cfg);
+    expectTaxonomyClosed(s);
+    EXPECT_GT(s.dataFaultsInjected, 0u);
+    EXPECT_GT(s.eccCorrections, 0u);
+    EXPECT_EQ(outcome(s, RequestOutcome::Sdc), 0u);
+    EXPECT_GT(outcome(s, RequestOutcome::Corrected), 0u);
+}
+
+TEST(ServiceFaults, UnprotectedDataFaultsSurfaceAsSilentCorruption)
+{
+    // Same fault pressure, no check lanes: the identical flip stream
+    // lands as silent corruption and nothing corrects or flags.
+    ServiceConfig cfg = dataFaultConfig(1e-5, EccMode::None);
+    ServiceStats s = runService(cfg);
+    expectTaxonomyClosed(s);
+    EXPECT_GT(s.dataFaultsInjected, 0u);
+    EXPECT_EQ(s.eccCorrections, 0u);
+    EXPECT_EQ(s.eccDetectedUncorrectable, 0u);
+    EXPECT_GT(outcome(s, RequestOutcome::Sdc), 0u);
+}
+
+TEST(ServiceFaults, EccDueEscalatesIntoHealthTracking)
+{
+    // Hot enough that some words take two flips, with the retry
+    // ladder disabled so a first-sample DUE is terminal: flagged
+    // (never silent) and fed to the same breaker machinery as
+    // alignment DUEs.
+    ServiceConfig cfg = dataFaultConfig(3e-4, EccMode::Secded, 3);
+    cfg.faults.maxRetries = 0;
+    cfg.faults.breakerThreshold = 2;
+    cfg.faults.breakerCooldownCycles = 2000;
+    ServiceStats s = runService(cfg);
+    expectTaxonomyClosed(s);
+    EXPECT_GT(s.eccDetectedUncorrectable, 0u);
+    EXPECT_GT(outcome(s, RequestOutcome::Due), 0u);
+    EXPECT_EQ(outcome(s, RequestOutcome::Sdc), 0u);
+    EXPECT_GT(s.breakerTrips, 0u);
+}
+
+TEST(ServiceFaults, RetentionScrubServingStaysCleanUnderSecded)
+{
+    ServiceConfig cfg = dataFaultConfig(0.0, EccMode::Secded);
+    cfg.faults.retentionRatePerCycle = 1e-8;
+    cfg.faults.scrubIntervalCycles = 2048;
+    ServiceStats s = runService(cfg);
+    expectTaxonomyClosed(s);
+    EXPECT_GT(s.dataFaultsInjected, 0u);
+    EXPECT_GT(s.eccCorrections, 0u);
+    EXPECT_EQ(outcome(s, RequestOutcome::Sdc), 0u);
+    // The ECC sweep runs as maintenance work on the serving timeline.
+    EXPECT_GT(s.maintenanceUnits, 0u);
+}
+
+TEST(ServiceFaults, EccCountersSurfaceInMetricsRegistry)
+{
+    ServiceConfig cfg = dataFaultConfig(1e-4, EccMode::Secded, 3);
+    cfg.collectMetrics = true;
+    ServiceStats s = runService(cfg);
+    ASSERT_GT(s.dataFaultsInjected, 0u);
+    std::uint64_t faults = 0, fixes = 0, dues = 0;
+    for (std::uint32_t ch = 0; ch < cfg.channels; ++ch) {
+        const obs::ComponentMetrics *ecc = s.metrics.find(
+            "channel" + std::to_string(ch) + "/ecc");
+        ASSERT_NE(ecc, nullptr) << "channel " << ch;
+        faults += ecc->get(obs::Counter::DataFaultsInjected);
+        fixes += ecc->get(obs::Counter::EccCorrections);
+        dues += ecc->get(obs::Counter::EccDetectedUncorrectable);
+    }
+    // The registry view reconciles exactly with the run totals.
+    EXPECT_EQ(faults, s.dataFaultsInjected);
+    EXPECT_EQ(fixes, s.eccCorrections);
+    EXPECT_EQ(dues, s.eccDetectedUncorrectable);
+}
+
+TEST(ServiceFaults, EccRunIsThreadCountInvariant)
+{
+    ServiceConfig cfg = dataFaultConfig(1e-4, EccMode::Secded, 3);
+    cfg.channels = 4;
+    cfg.faults.retentionRatePerCycle = 1e-9;
+    cfg.collectMetrics = true;
+    cfg.threads = 1;
+    ServiceStats single = runService(cfg);
+    EXPECT_GT(single.dataFaultsInjected, 0u);
+    for (std::uint32_t threads : {2u, 4u}) {
+        cfg.threads = threads;
+        ServiceStats sharded = runService(cfg);
+        EXPECT_EQ(single.makespan, sharded.makespan);
+        EXPECT_EQ(single.dataFaultsInjected,
+                  sharded.dataFaultsInjected);
+        EXPECT_EQ(single.eccCorrections, sharded.eccCorrections);
+        EXPECT_EQ(single.eccDetectedUncorrectable,
+                  sharded.eccDetectedUncorrectable);
+        for (std::size_t i = 0; i < kRequestOutcomes; ++i)
+            EXPECT_EQ(single.outcomes[i], sharded.outcomes[i]) << i;
+        EXPECT_EQ(single.metrics.toJson(), sharded.metrics.toJson());
+    }
 }
 
 TEST(ServiceFaults, OutcomeNamesAreStable)

@@ -62,6 +62,51 @@ parseOrDie(const std::vector<std::string> &args,
     return o;
 }
 
+/**
+ * Parse the shared data-fault/ECC knobs (--pdata, --pstuck,
+ * --retention, --ecc, --nmr) into any struct exposing the matching
+ * fields.  Returns false (usage error, exit 2) on an unknown --ecc
+ * value, an out-of-range probability, or an illegal NMR arity.
+ */
+template <typename FaultFields>
+bool
+parseDataFaultArgs(const ParsedArgs &o, FaultFields &f)
+{
+    double pdata = o.getDouble("pdata", 0.0);
+    double pstuck = o.getDouble("pstuck", 0.0);
+    double retention = o.getDouble("retention", 0.0);
+    if (pdata < 0.0 || pdata > 1.0 || pstuck < 0.0 || pstuck > 1.0) {
+        std::fprintf(stderr,
+                     "--pdata/--pstuck must be probabilities in "
+                     "[0, 1]\n");
+        return false;
+    }
+    if (retention < 0.0) {
+        std::fprintf(stderr, "--retention must be non-negative\n");
+        return false;
+    }
+    std::string ecc = o.getString("ecc", "none");
+    if (ecc == "none")
+        f.ecc = EccMode::None;
+    else if (ecc == "secded")
+        f.ecc = EccMode::Secded;
+    else {
+        std::fprintf(stderr, "unknown ecc '%s' (none, secded)\n",
+                     ecc.c_str());
+        return false;
+    }
+    std::size_t nmr = o.getSize("nmr", 1);
+    if (nmr != 1 && nmr != 3 && nmr != 5 && nmr != 7) {
+        std::fprintf(stderr, "--nmr must be 1, 3, 5, or 7\n");
+        return false;
+    }
+    f.pimNmr = nmr;
+    f.dataFaultRate = pdata;
+    f.stuckAtFraction = pstuck;
+    f.retentionRatePerCycle = retention;
+    return true;
+}
+
 /** Write @p text to @p path; reports and fails on I/O errors. */
 bool
 writeTextFile(const std::string &path, const std::string &text)
@@ -284,6 +329,11 @@ cmdCampaign(const std::vector<std::string> &args)
                                      {"seed", ArgType::Size},
                                      {"retire", ArgType::Size},
                                      {"policy", ArgType::String},
+                                     {"pdata", ArgType::Double},
+                                     {"pstuck", ArgType::Double},
+                                     {"retention", ArgType::Double},
+                                     {"ecc", ArgType::String},
+                                     {"nmr", ArgType::Size},
                                      {"metrics-json", ArgType::String},
                                      {"trace", ArgType::String}});
     ControllerCampaignConfig cfg;
@@ -291,6 +341,8 @@ cmdCampaign(const std::vector<std::string> &args)
     cfg.trials = o.getSize("trials", 500);
     cfg.seed = o.getSize("seed", 1);
     cfg.retireThreshold = o.getSize("retire", 0);
+    if (!parseDataFaultArgs(o, cfg))
+        return 2;
     std::string policy = o.getString("policy", "per-access");
     if (policy == "none")
         cfg.policy = GuardPolicy::None;
@@ -338,6 +390,17 @@ cmdCampaign(const std::vector<std::string> &args)
                 static_cast<unsigned long long>(res.correctivePulses));
     std::printf("  retired DBCs           : %llu\n",
                 static_cast<unsigned long long>(res.retiredDbcs));
+    if (cfg.dataFaultRate > 0.0 || cfg.stuckAtFraction > 0.0 ||
+        cfg.retentionRatePerCycle > 0.0 || cfg.ecc != EccMode::None) {
+        std::printf("  data faults injected   : %llu\n",
+                    static_cast<unsigned long long>(
+                        res.dataFaultsInjected));
+        std::printf("  ecc corrections        : %llu\n",
+                    static_cast<unsigned long long>(
+                        res.eccCorrections));
+        std::printf("  ecc detected DUE       : %llu\n",
+                    static_cast<unsigned long long>(res.eccDue));
+    }
     std::printf("  coverage               : %.4f\n", res.coverage());
     std::printf("  SDC rate               : %.4g\n", res.sdcRate());
     if (o.has("metrics-json") &&
@@ -369,6 +432,11 @@ cmdServe(const std::vector<std::string> &args)
                                      {"process", ArgType::String},
                                      {"pshift", ArgType::Double},
                                      {"policy", ArgType::String},
+                                     {"pdata", ArgType::Double},
+                                     {"pstuck", ArgType::Double},
+                                     {"retention", ArgType::Double},
+                                     {"ecc", ArgType::String},
+                                     {"nmr", ArgType::Size},
                                      {"chaos", ArgType::String},
                                      {"retries", ArgType::Size},
                                      {"backoff", ArgType::Size},
@@ -452,6 +520,8 @@ cmdServe(const std::vector<std::string> &args)
         o.getSize("spares", faults.sparesPerChannel));
     faults.scrubIntervalCycles =
         o.getSize("scrub-interval", faults.scrubIntervalCycles);
+    if (!parseDataFaultArgs(o, faults))
+        return 2;
     std::string chaos = o.getString("chaos", "off");
     if (chaos != "on" && chaos != "off") {
         std::fprintf(stderr, "unknown chaos '%s' (on, off)\n",
@@ -486,6 +556,12 @@ cmdServe(const std::vector<std::string> &args)
                     static_cast<unsigned long long>(
                         faults.retryBackoffCycles),
                     faults.sparesPerChannel);
+    if (cfg.faults.dataFaultsEnabled())
+        std::printf("data faults: pdata=%g pstuck=%g retention=%g "
+                    "ecc=%s nmr=%zu\n",
+                    faults.dataFaultRate, faults.stuckAtFraction,
+                    faults.retentionRatePerCycle,
+                    eccModeName(faults.ecc), faults.pimNmr);
     ServiceStats stats = runService(cfg);
     std::printf("%s", stats.report().c_str());
     if (cfg.collectMetrics &&
@@ -513,7 +589,9 @@ usage(std::FILE *out)
         "  reliability [--trd 7] [--pfault 1e-6]\n"
         "  campaign    [--pshift 1e-3] [--trials 500] [--seed 1]\n"
         "              [--policy none|per-access|per-cpim|scrub]\n"
-        "              [--retire N]\n"
+        "              [--retire N] [--pdata 0] [--pstuck 0]\n"
+        "              [--retention 0] [--ecc none|secded]\n"
+        "              [--nmr 1|3|5|7]\n"
         "  serve       [--channels 8] [--threads 1] [--banks 16]\n"
         "              [--rate 8] [--duration 100000] [--seed 1]\n"
         "              [--mix read:0.2,bulk:0.5,...] [--batch on|off]\n"
@@ -524,6 +602,8 @@ usage(std::FILE *out)
         "              [--backoff 64] [--health-window 20000]\n"
         "              [--breaker-threshold 8] [--cooldown 10000]\n"
         "              [--trips 3] [--spares 4] [--scrub-interval 4096]\n"
+        "              [--pdata 0] [--pstuck 0] [--retention 0]\n"
+        "              [--ecc none|secded] [--nmr 1|3|5|7]\n"
         "  help                                 this text\n\n"
         "observability (ops, campaign, serve):\n"
         "  --metrics-json FILE   per-component counters as JSON\n"
